@@ -1,0 +1,82 @@
+// Command loadgen drives a thinnerd instance with the paper's client
+// workloads over real sockets: good clients (low rate, one
+// outstanding request) and bad clients (high rate, many outstanding),
+// each shaped to an access-link bandwidth by a token bucket.
+//
+// Usage:
+//
+//	loadgen [-url http://localhost:8080] [-good 3] [-bad 3]
+//	        [-bw 2e6] [-post 1048576] [-duration 30s]
+//
+// It prints per-second progress and a final summary comparing the good
+// and bad clients' service rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"speakup/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "thinner base URL")
+	nGood := flag.Int("good", 3, "number of good clients (λ=2, w=1)")
+	nBad := flag.Int("bad", 3, "number of bad clients (λ=40, w=20)")
+	bw := flag.Float64("bw", 2e6, "per-client upload bandwidth (bits/s)")
+	post := flag.Int("post", 1<<20, "payment POST size (bytes)")
+	duration := flag.Duration("duration", 30*time.Second, "run length")
+	flag.Parse()
+
+	var ids atomic.Uint64
+	var good, bad []*loadgen.Client
+	for i := 0; i < *nGood; i++ {
+		c := loadgen.NewClient(loadgen.Config{
+			BaseURL: *url, Lambda: 2, Window: 1, Good: true,
+			UploadBits: *bw, PostBytes: *post, Seed: int64(i + 1),
+		}, &ids)
+		good = append(good, c)
+		c.Run()
+	}
+	for i := 0; i < *nBad; i++ {
+		c := loadgen.NewClient(loadgen.Config{
+			BaseURL: *url, Lambda: 40, Window: 20, Good: false,
+			UploadBits: *bw, PostBytes: *post, Seed: int64(1000 + i),
+		}, &ids)
+		bad = append(bad, c)
+		c.Run()
+	}
+	log.Printf("load: %d good + %d bad clients at %.1f Mbit/s each against %s",
+		*nGood, *nBad, *bw/1e6, *url)
+
+	tally := func(cs []*loadgen.Client) (issued, served uint64, paid int64) {
+		for _, c := range cs {
+			issued += c.Stats.Issued.Load()
+			served += c.Stats.Served.Load()
+			paid += c.Stats.PaidBytes.Load()
+		}
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < *duration {
+		time.Sleep(time.Second)
+		gi, gs, _ := tally(good)
+		bi, bs, _ := tally(bad)
+		fmt.Printf("t=%3.0fs  good %d/%d served   bad %d/%d served\n",
+			time.Since(start).Seconds(), gs, gi, bs, bi)
+	}
+	for _, c := range append(good, bad...) {
+		c.Stop()
+	}
+	gi, gs, gp := tally(good)
+	bi, bs, bp := tally(bad)
+	fmt.Printf("\nfinal: good served %d/%d (paid %.1f MB)   bad served %d/%d (paid %.1f MB)\n",
+		gs, gi, float64(gp)/1e6, bs, bi, float64(bp)/1e6)
+	if gi > 0 && bi > 0 {
+		fmt.Printf("per-request success: good %.2f vs bad %.2f\n",
+			float64(gs)/float64(gi), float64(bs)/float64(bi))
+	}
+}

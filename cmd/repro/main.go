@@ -1,0 +1,86 @@
+// Command repro regenerates every table and figure from the paper's
+// evaluation (§7) at configurable scale and prints the series each
+// figure plots.
+//
+// Usage:
+//
+//	repro                        # all experiments at 60s virtual time
+//	repro -duration 600s         # paper scale (600s runs; takes minutes)
+//	repro -experiment fig2,fig9  # a subset
+//
+// Experiments: fig2 fig3 fig4 fig5 sec74 window fig6 fig7 fig8 fig9
+// variants theorem hetero postsize parconns sec81 flashcrowd. See
+// EXPERIMENTS.md for
+// the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"speakup/internal/exp"
+)
+
+func main() {
+	duration := flag.Duration("duration", 60*time.Second, "virtual time per run (paper: 600s)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	which := flag.String("experiment", "all", "comma-separated experiment list (or 'all')")
+	flag.Parse()
+
+	o := exp.Opts{Duration: *duration, Seed: *seed}
+	sel := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		sel[strings.TrimSpace(w)] = true
+	}
+	all := sel["all"]
+	want := func(name string) bool { return all || sel[name] }
+
+	type job struct {
+		name string
+		run  func()
+	}
+	var fig345 *exp.Fig345Result
+	get345 := func() *exp.Fig345Result {
+		if fig345 == nil {
+			fig345 = exp.Fig345(o)
+		}
+		return fig345
+	}
+	jobs := []job{
+		{"fig2", func() { fmt.Println(exp.Fig2(o).Table()) }},
+		{"fig3", func() { fmt.Println(get345().Fig3Table()) }},
+		{"fig4", func() { fmt.Println(get345().Fig4Table()) }},
+		{"fig5", func() { fmt.Println(get345().Fig5Table()) }},
+		{"sec74", func() { fmt.Println(exp.Sec74MinCapacity(o).Table()) }},
+		{"window", func() { fmt.Println(exp.Sec74WindowSweep(o).Table()) }},
+		{"fig6", func() { fmt.Println(exp.Fig6(o).Table()) }},
+		{"fig7", func() { fmt.Println(exp.Fig7(o).Table()) }},
+		{"fig8", func() { fmt.Println(exp.Fig8(o).Table()) }},
+		{"fig9", func() { fmt.Println(exp.Fig9(o).Table()) }},
+		{"variants", func() { fmt.Println(exp.Variants(o).Table()) }},
+		{"theorem", func() { fmt.Println(exp.Theorem31(o).Table()) }},
+		{"hetero", func() { fmt.Println(exp.Hetero(o).Table()) }},
+		{"postsize", func() { fmt.Println(exp.POSTSize(o).Table()) }},
+		{"parconns", func() { fmt.Println(exp.ParallelConns(o).Table()) }},
+		{"sec81", func() { fmt.Println(exp.Sec81SmartBots(o).Table()) }},
+		{"flashcrowd", func() { fmt.Println(exp.FlashCrowd(o).Table()) }},
+	}
+	ran := 0
+	for _, j := range jobs {
+		if !want(j.name) {
+			continue
+		}
+		fmt.Printf("=== %s (duration %v, seed %d) ===\n", j.name, *duration, *seed)
+		start := time.Now()
+		j.run()
+		fmt.Printf("(%s in %.1fs wall)\n\n", j.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *which)
+		os.Exit(2)
+	}
+}

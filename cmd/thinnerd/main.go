@@ -1,0 +1,45 @@
+// Command thinnerd serves the speak-up thinner over HTTP, protecting
+// an emulated origin — the live counterpart of the paper's §6
+// prototype.
+//
+// Usage:
+//
+//	thinnerd [-addr :8080] [-capacity 10] [-orphan 10s]
+//
+// Endpoints: /request?id=N (the request; 402 + Speakup-Action: pay
+// when the origin is busy), /pay?id=N (payment channel: stream dummy
+// POST bodies), /stats (JSON counters). Drive it with cmd/loadgen or
+// curl:
+//
+//	curl 'http://localhost:8080/request?id=1'
+//	curl -X POST --data-binary @bigfile 'http://localhost:8080/pay?id=2'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"speakup"
+	"speakup/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	capacity := flag.Float64("capacity", 10, "origin capacity in requests/second")
+	orphan := flag.Duration("orphan", 10*time.Second, "evict request-less payment channels after this long")
+	flag.Parse()
+
+	origin := speakup.NewEmulatedOrigin(*capacity)
+	front := speakup.NewFront(origin, speakup.FrontConfig{
+		Thinner: core.Config{OrphanTimeout: *orphan},
+	})
+	defer front.Close()
+
+	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s)", *addr, *capacity)
+	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats")
+	if err := http.ListenAndServe(*addr, front); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package appsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"speakup/internal/clients"
+	"speakup/internal/core"
+	"speakup/internal/netsim"
+	"speakup/internal/server"
+	"speakup/internal/sim"
+	"speakup/internal/simclock"
+	"speakup/internal/tcpsim"
+)
+
+func TestDebugBadClientChannels(t *testing.T) {
+	loop := sim.NewLoop(1)
+	n := netsim.New(loop)
+	sw := n.AddNode("switch", nil)
+	tn := n.AddNode("thinner", nil)
+	n.Connect(sw, tn, 1e9, 250*time.Microsecond, 256*1500)
+	// 5 bad clients, 100ms one-way (200ms RTT)
+	var nodes []netsim.NodeID
+	for i := 0; i < 5; i++ {
+		cn := n.AddNode("c", nil)
+		n.Connect(cn, sw, 2e6, 100*time.Millisecond, 50*1500)
+		nodes = append(nodes, cn)
+	}
+	n.ComputeRoutes()
+	clock := simclock.New(loop)
+	srv := server.New(clock, server.Config{Capacity: 2, Seed: 7})
+	ts := tcpsim.NewStack(n, tn, tcpsim.Options{})
+	NewThinnerApp(ts, clock, srv, ThinnerConfig{Mode: ModeAuction})
+	var nextID uint64
+	gen := func() core.RequestID { nextID++; return core.RequestID(nextID) }
+	var apps []*ClientApp
+	for i, cn := range nodes {
+		cs := tcpsim.NewStack(n, cn, tcpsim.Options{})
+		wl := clients.New(clock, clients.Config{Lambda: 40, Window: 20, Seed: int64(i + 5)}, gen)
+		app := NewClientApp(cs, wl, tn, Sizes{}, ClientAppConfig{})
+		apps = append(apps, app)
+		wl.Start()
+	}
+	loop.Run(25 * time.Second)
+	app := apps[0]
+	fmt.Printf("client0: %d live reqs\n", len(app.reqs))
+	i := 0
+	var totPaid int64
+	for id, r := range app.reqs {
+		if i < 8 {
+			var st string
+			for _, pc := range r.payConns {
+				st += fmt.Sprintf(" [est=%v closed=%v sent=%.0fKB out=%d pend=%.0fKB cwnd=%.0f rto=%v tmo=%d]",
+					pc.Established(), pc.Closed(), float64(pc.BytesSent)/1000, pc.Outstanding(), float64(pc.PendingBytes())/1000, pc.Cwnd(), pc.RTO(), pc.Timeouts)
+			}
+			fmt.Printf("  req %d: paying=%v paid=%.0fKB conns=%d%s\n", id, r.paying, float64(r.paid)/1000, len(r.payConns), st)
+		}
+		i++
+		totPaid += r.paid
+	}
+	fmt.Printf("client0 total live paid: %.1fMB (max 6.25MB)\n", float64(totPaid)/1e6)
+}

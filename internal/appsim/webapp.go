@@ -1,0 +1,88 @@
+package appsim
+
+import (
+	"time"
+
+	"speakup/internal/metrics"
+	"speakup/internal/netsim"
+	"speakup/internal/sim"
+	"speakup/internal/tcpsim"
+)
+
+// WebServerApp is the separate web server S of the Figure 9 bystander
+// experiment: it answers GETs with a file of the requested size.
+type WebServerApp struct {
+	stack *tcpsim.Stack
+}
+
+// NewWebServerApp installs the file server on a stack.
+func NewWebServerApp(stack *tcpsim.Stack) *WebServerApp {
+	a := &WebServerApp{stack: stack}
+	stack.Listen(func(conn *tcpsim.Conn) {
+		conn.OnRecord = func(meta any) {
+			m, ok := meta.(*msg)
+			if !ok || m.kind != kindGet {
+				return
+			}
+			if !conn.Closed() {
+				conn.Write(m.n, &msg{kind: kindFile, id: m.id})
+			}
+		}
+	})
+	return a
+}
+
+// BystanderApp emulates the paper's wget host H: it downloads a file
+// of fixed size from the web server repeatedly (a new connection per
+// download, like wget) and records end-to-end latencies.
+type BystanderApp struct {
+	loop     *sim.Loop
+	stack    *tcpsim.Stack
+	server   netsim.NodeID
+	fileSize int
+	reqSize  int
+
+	nextID    uint64
+	started   time.Duration
+	Latencies metrics.Sample
+	Completed int
+
+	// MaxDownloads stops after this many (0 = unlimited).
+	MaxDownloads int
+}
+
+// NewBystanderApp creates the downloader; call Start to begin.
+func NewBystanderApp(stack *tcpsim.Stack, server netsim.NodeID, fileSize int) *BystanderApp {
+	return &BystanderApp{
+		loop:     stack.Net().Loop(),
+		stack:    stack,
+		server:   server,
+		fileSize: fileSize,
+		reqSize:  200,
+	}
+}
+
+// Start begins the download loop.
+func (b *BystanderApp) Start() { b.download() }
+
+func (b *BystanderApp) download() {
+	if b.MaxDownloads > 0 && b.Completed >= b.MaxDownloads {
+		return
+	}
+	b.nextID++
+	id := b.nextID
+	b.started = b.loop.Now()
+	conn := b.stack.Dial(b.server, nil)
+	conn.Write(b.reqSize, &msg{kind: kindGet, id: 0, n: b.fileSize})
+	conn.OnRecord = func(meta any) {
+		m, ok := meta.(*msg)
+		if !ok || m.kind != kindFile {
+			return
+		}
+		b.Latencies.AddDuration(b.loop.Now() - b.started)
+		b.Completed++
+		conn.Close()
+		b.download()
+	}
+	_ = id
+}

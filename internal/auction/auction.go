@@ -1,0 +1,208 @@
+// Package auction models the abstract bidding game behind speak-up's
+// virtual auction and checks the robustness bound of Theorem 3.1.
+//
+// The game (paper §3.4): requests are served at (roughly) regular
+// intervals; between consecutive auctions a distinguished good client X
+// delivers payment at a fixed rate, while an adversary — who may time
+// and divide its bytes arbitrarily, bank bandwidth, and always has a
+// contending request — tries to win as many auctions as possible. The
+// theorem says X still wins at least an ε/2 fraction of auctions,
+// where ε is X's fraction of all bytes the thinner received. With
+// service intervals fluctuating within ±δ, the bound degrades to
+// (1−2δ)·ε/2.
+//
+// The simulation here is deliberately pessimistic for X: ties go to
+// the adversary, and the adversary sees X's balance before deciding
+// how much banked payment to reveal.
+package auction
+
+import (
+	"math/rand"
+)
+
+// Strategy decides, before each auction, how much of the adversary's
+// banked bytes to move onto its contending request. Implementations
+// see the full state (round number, bank, X's current balance) —
+// strictly more information than a real attacker has.
+type Strategy interface {
+	// Bid returns the bytes to transfer from bank to the adversary's
+	// champion request for this auction. Returns in [0, bank].
+	Bid(round int, bank, xBalance float64) float64
+	// Name labels the strategy in reports.
+	Name() string
+}
+
+// Result summarizes one simulated game.
+type Result struct {
+	Rounds        int
+	XWins         int
+	XDelivered    float64 // bytes X delivered
+	AdvDelivered  float64 // bytes the adversary revealed to the thinner
+	Epsilon       float64 // XDelivered / (XDelivered + AdvDelivered)
+	XServiceShare float64 // XWins / Rounds
+	Bound         float64 // the theorem's floor: (1-2δ)·ε/2
+}
+
+// Holds reports whether the observed share meets the theorem bound,
+// with slack for integer-round effects on short games.
+func (r Result) Holds() bool {
+	slack := 1.0 / float64(r.Rounds+1)
+	return r.XServiceShare >= r.Bound-slack
+}
+
+// Config parameterizes a game.
+type Config struct {
+	Rounds  int     // number of auctions
+	XRate   float64 // X's delivery per unit time
+	AdvRate float64 // adversary's budget accrual per unit time
+	// Delta is the service-interval jitter δ in [0, 1): interval
+	// lengths are drawn uniformly from [1-δ, 1+δ].
+	Delta float64
+	// Seed drives interval jitter and randomized strategies.
+	Seed int64
+}
+
+// Run plays the game and returns the result.
+func Run(cfg Config, s Strategy) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		xBal, advBal, bank       float64
+		xDelivered, advDelivered float64
+		xWins                    int
+	)
+	for round := 0; round < cfg.Rounds; round++ {
+		dt := 1.0
+		if cfg.Delta > 0 {
+			dt = 1 - cfg.Delta + 2*cfg.Delta*rng.Float64()
+		}
+		xBal += cfg.XRate * dt
+		xDelivered += cfg.XRate * dt
+		bank += cfg.AdvRate * dt
+
+		bid := s.Bid(round, bank, xBal)
+		if bid < 0 {
+			bid = 0
+		}
+		if bid > bank {
+			bid = bank
+		}
+		bank -= bid
+		advBal += bid
+		advDelivered += bid
+
+		// Auction: ties go to the adversary (pessimistic for X).
+		if xBal > advBal {
+			xWins++
+			xBal = 0
+		} else {
+			advBal = 0
+		}
+	}
+	total := xDelivered + advDelivered
+	eps := 0.0
+	if total > 0 {
+		eps = xDelivered / total
+	}
+	return Result{
+		Rounds:        cfg.Rounds,
+		XWins:         xWins,
+		XDelivered:    xDelivered,
+		AdvDelivered:  advDelivered,
+		Epsilon:       eps,
+		XServiceShare: float64(xWins) / float64(max(cfg.Rounds, 1)),
+		Bound:         (1 - 2*cfg.Delta) * eps / 2,
+	}
+}
+
+// --- Strategies ---
+
+// Constant reveals its accrual every round (a naive flooder).
+type Constant struct{}
+
+// Bid implements Strategy.
+func (Constant) Bid(_ int, bank, _ float64) float64 { return bank }
+
+// Name implements Strategy.
+func (Constant) Name() string { return "constant" }
+
+// Outbidder is the proof's worst-case adversary: it reveals exactly
+// enough to beat X each auction and banks the rest, wasting nothing.
+type Outbidder struct{}
+
+// Bid implements Strategy.
+func (Outbidder) Bid(_ int, bank, xBal float64) float64 {
+	if bank >= xBal {
+		return xBal // tie suffices: ties go to the adversary
+	}
+	return 0 // cannot win: reveal nothing, keep banking
+}
+
+// Name implements Strategy.
+func (Outbidder) Name() string { return "outbidder" }
+
+// Burst saves for Period rounds, then dumps the whole bank.
+type Burst struct{ Period int }
+
+// Bid implements Strategy.
+func (b Burst) Bid(round int, bank, _ float64) float64 {
+	p := b.Period
+	if p <= 0 {
+		p = 10
+	}
+	if (round+1)%p == 0 {
+		return bank
+	}
+	return 0
+}
+
+// Name implements Strategy.
+func (Burst) Name() string { return "burst" }
+
+// Random reveals a uniformly random share of the bank each round.
+type Random struct{ Rng *rand.Rand }
+
+// Bid implements Strategy.
+func (r Random) Bid(_ int, bank, _ float64) float64 {
+	return bank * r.Rng.Float64()
+}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Threshold reveals only when the bank exceeds k times X's balance —
+// a "wait until overwhelming" attacker.
+type Threshold struct{ K float64 }
+
+// Bid implements Strategy.
+func (th Threshold) Bid(_ int, bank, xBal float64) float64 {
+	k := th.K
+	if k <= 0 {
+		k = 3
+	}
+	if bank >= k*xBal && xBal > 0 {
+		return xBal
+	}
+	return 0
+}
+
+// Name implements Strategy.
+func (Threshold) Name() string { return "threshold" }
+
+// All returns the built-in strategies (Random uses the given seed).
+func All(seed int64) []Strategy {
+	return []Strategy{
+		Constant{},
+		Outbidder{},
+		Burst{Period: 10},
+		Burst{Period: 50},
+		Random{Rng: rand.New(rand.NewSource(seed))},
+		Threshold{K: 3},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package auction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXAloneWinsEverything(t *testing.T) {
+	r := Run(Config{Rounds: 100, XRate: 1, AdvRate: 0, Seed: 1}, Constant{})
+	if r.XWins != 100 {
+		t.Fatalf("unopposed X won %d/100", r.XWins)
+	}
+	if r.Epsilon != 1 {
+		t.Fatalf("epsilon = %v, want 1", r.Epsilon)
+	}
+}
+
+func TestEqualRatesConstantAdversary(t *testing.T) {
+	// Equal bandwidth, naive adversary: X should win about half.
+	r := Run(Config{Rounds: 10000, XRate: 1, AdvRate: 1, Seed: 2}, Constant{})
+	if r.XServiceShare < 0.40 || r.XServiceShare > 0.60 {
+		t.Fatalf("share = %v, want ~0.5", r.XServiceShare)
+	}
+	if !r.Holds() {
+		t.Fatalf("bound violated: share %.3f < bound %.3f", r.XServiceShare, r.Bound)
+	}
+}
+
+func TestOutbidderHoldsBoundButHurtsX(t *testing.T) {
+	// The proof's adversary: X's share approaches eps/2, not eps.
+	r := Run(Config{Rounds: 20000, XRate: 1, AdvRate: 1, Seed: 3}, Outbidder{})
+	if !r.Holds() {
+		t.Fatalf("bound violated: share %.3f < bound %.3f (eps %.3f)", r.XServiceShare, r.Bound, r.Epsilon)
+	}
+	// The outbidder should push X measurably below the naive 1/2 split
+	// relative to epsilon.
+	if r.XServiceShare > 0.9*r.Epsilon {
+		t.Fatalf("outbidder ineffective: share %.3f vs eps %.3f", r.XServiceShare, r.Epsilon)
+	}
+}
+
+func TestOutbidderNearTheoreticalLimit(t *testing.T) {
+	// Against the outbidder, X's share should approach but not beat
+	// the theorem's prediction territory: in [bound, ~2*bound+slack].
+	r := Run(Config{Rounds: 50000, XRate: 1, AdvRate: 3, Seed: 4}, Outbidder{})
+	if !r.Holds() {
+		t.Fatalf("bound violated: share %.4f bound %.4f", r.XServiceShare, r.Bound)
+	}
+	if r.XServiceShare > 3*r.Bound {
+		t.Fatalf("outbidder far from tight: share %.4f vs bound %.4f", r.XServiceShare, r.Bound)
+	}
+}
+
+func TestAllStrategiesRespectBound(t *testing.T) {
+	for _, s := range All(7) {
+		for _, adv := range []float64{0.5, 1, 2, 5, 10} {
+			r := Run(Config{Rounds: 20000, XRate: 1, AdvRate: adv, Seed: 11}, s)
+			if !r.Holds() {
+				t.Errorf("strategy %s adv=%v: share %.4f < bound %.4f",
+					s.Name(), adv, r.XServiceShare, r.Bound)
+			}
+		}
+	}
+}
+
+func TestJitterWeakensBoundButHolds(t *testing.T) {
+	for _, delta := range []float64{0.1, 0.25, 0.4} {
+		r := Run(Config{Rounds: 30000, XRate: 1, AdvRate: 2, Delta: delta, Seed: 13}, Outbidder{})
+		if !r.Holds() {
+			t.Errorf("delta=%v: share %.4f < bound %.4f", delta, r.XServiceShare, r.Bound)
+		}
+	}
+}
+
+func TestBidClamping(t *testing.T) {
+	// A strategy returning nonsense must be clamped to [0, bank].
+	evil := strategyFunc(func(_ int, bank, _ float64) float64 { return bank * 100 })
+	r := Run(Config{Rounds: 1000, XRate: 1, AdvRate: 1, Seed: 5}, evil)
+	if r.AdvDelivered > 1001 { // cannot deliver more than accrued
+		t.Fatalf("adversary delivered %v with budget 1000", r.AdvDelivered)
+	}
+	neg := strategyFunc(func(int, float64, float64) float64 { return -5 })
+	r = Run(Config{Rounds: 100, XRate: 1, AdvRate: 1, Seed: 6}, neg)
+	if r.AdvDelivered != 0 {
+		t.Fatalf("negative bids delivered %v", r.AdvDelivered)
+	}
+}
+
+type strategyFunc func(int, float64, float64) float64
+
+func (f strategyFunc) Bid(r int, b, x float64) float64 { return f(r, b, x) }
+func (strategyFunc) Name() string                      { return "func" }
+
+// Property: Theorem 3.1 holds for arbitrary adversary reveal schedules
+// — random per-round reveal fractions, random rate ratios, random
+// jitter. This is the paper's theorem under test.
+func TestQuickTheorem31(t *testing.T) {
+	f := func(seed int64, advRateRaw, deltaRaw uint8, reveals []uint8) bool {
+		advRate := 0.25 + float64(advRateRaw%80)/4 // 0.25 .. 20
+		delta := float64(deltaRaw%40) / 100        // 0 .. 0.39
+		i := 0
+		s := strategyFunc(func(_ int, bank, _ float64) float64 {
+			if len(reveals) == 0 {
+				return bank
+			}
+			frac := float64(reveals[i%len(reveals)]) / 255
+			i++
+			return bank * frac
+		})
+		r := Run(Config{Rounds: 5000, XRate: 1, AdvRate: advRate, Delta: delta, Seed: seed}, s)
+		return r.Holds()
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adaptive outbidder with full information never
+// violates the bound across random rate ratios.
+func TestQuickOutbidderBound(t *testing.T) {
+	f := func(seed int64, advRateRaw uint8) bool {
+		advRate := 0.1 + float64(advRateRaw)/16
+		r := Run(Config{Rounds: 8000, XRate: 1, AdvRate: advRate, Seed: seed}, Outbidder{})
+		return r.Holds()
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(62))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

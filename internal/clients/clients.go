@@ -1,0 +1,194 @@
+// Package clients models the request-generation behaviour of the
+// paper's custom Python clients (§7.1).
+//
+// Each client generates requests from a Poisson process of rate λ but
+// never keeps more than a window w outstanding; excess arrivals wait
+// in a backlog queue and are logged as service denials after 10
+// seconds. Good clients use λ=2, w=1; bad clients use λ=40, w=20. The
+// package is transport-independent: the Issue callback starts the
+// actual protocol exchange, and the transport reports completions back
+// via RequestServed or RequestFailed.
+package clients
+
+import (
+	"math/rand"
+	"time"
+
+	"speakup/internal/core"
+)
+
+// Config parameterizes one client.
+type Config struct {
+	// Lambda is the Poisson request rate per second. Required.
+	Lambda float64
+	// Window is the max outstanding requests w. Required.
+	Window int
+	// BacklogTimeout denies queued requests after this long. Default 10s.
+	BacklogTimeout time.Duration
+	// Good labels the client for reporting (it does not change behaviour;
+	// behaviour differences come from Lambda and Window).
+	Good bool
+	// Seed seeds this client's arrival process.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BacklogTimeout == 0 {
+		c.BacklogTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Stats counts per-client workload outcomes.
+type Stats struct {
+	Generated uint64 // Poisson arrivals
+	Issued    uint64 // handed to the transport
+	Served    uint64
+	Failed    uint64 // explicit failures (e.g. OFF-mode busy replies)
+	Denied    uint64 // backlog timeouts (the paper's "service denial")
+}
+
+// Offered returns the demand the client actually presented: requests
+// that were issued or died waiting.
+func (s Stats) Offered() uint64 { return s.Issued + s.Denied }
+
+type backlogEntry struct {
+	id       core.RequestID
+	enqueued time.Duration
+}
+
+// Client is one workload generator.
+type Client struct {
+	clock core.Clock
+	cfg   Config
+	rng   *rand.Rand
+
+	outstanding int
+	backlog     []backlogEntry
+	nextID      func() core.RequestID
+	stats       Stats
+	stopped     bool
+	stopArrival func()
+
+	// Issue starts the protocol exchange for a fresh request.
+	Issue func(id core.RequestID)
+	// OnDenial, if set, observes backlog timeouts.
+	OnDenial func(id core.RequestID)
+}
+
+// New creates a client. nextID must return process-unique request IDs
+// (the scenario shares one counter across all clients). Call Start to
+// begin generating.
+func New(clock core.Clock, cfg Config, nextID func() core.RequestID) *Client {
+	if cfg.Lambda <= 0 || cfg.Window <= 0 {
+		panic("clients: Lambda and Window must be positive")
+	}
+	if nextID == nil {
+		panic("clients: nextID required")
+	}
+	return &Client{
+		clock:  clock,
+		cfg:    cfg.withDefaults(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nextID: nextID,
+	}
+}
+
+// Stats returns a copy of the workload counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Good reports the client's label.
+func (c *Client) Good() bool { return c.cfg.Good }
+
+// Outstanding returns the number of requests in flight.
+func (c *Client) Outstanding() int { return c.outstanding }
+
+// BacklogLen returns the number of queued requests.
+func (c *Client) BacklogLen() int { return len(c.backlog) }
+
+// Start begins the Poisson arrival process.
+func (c *Client) Start() {
+	c.scheduleArrival()
+}
+
+// Stop halts request generation (outstanding requests may still
+// complete and be counted).
+func (c *Client) Stop() {
+	c.stopped = true
+	if c.stopArrival != nil {
+		c.stopArrival()
+		c.stopArrival = nil
+	}
+}
+
+func (c *Client) scheduleArrival() {
+	if c.stopped {
+		return
+	}
+	gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
+	c.stopArrival = c.clock.After(gap, func() {
+		c.arrival()
+		c.scheduleArrival()
+	})
+}
+
+func (c *Client) arrival() {
+	c.stats.Generated++
+	c.expireBacklog()
+	id := c.nextID()
+	if c.outstanding < c.cfg.Window {
+		c.issue(id)
+		return
+	}
+	c.backlog = append(c.backlog, backlogEntry{id: id, enqueued: c.clock.Now()})
+}
+
+func (c *Client) issue(id core.RequestID) {
+	c.outstanding++
+	c.stats.Issued++
+	if c.Issue != nil {
+		c.Issue(id)
+	}
+}
+
+// expireBacklog denies queue entries older than the timeout.
+func (c *Client) expireBacklog() {
+	cutoff := c.clock.Now() - c.cfg.BacklogTimeout
+	kept := c.backlog[:0]
+	for _, e := range c.backlog {
+		if e.enqueued <= cutoff {
+			c.stats.Denied++
+			if c.OnDenial != nil {
+				c.OnDenial(e.id)
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.backlog = kept
+}
+
+// RequestServed reports a completed request; a backlog entry (if any)
+// is issued in its place.
+func (c *Client) RequestServed(id core.RequestID) {
+	c.stats.Served++
+	c.completeOne()
+}
+
+// RequestFailed reports an explicitly failed request (OFF-mode drop).
+func (c *Client) RequestFailed(id core.RequestID) {
+	c.stats.Failed++
+	c.completeOne()
+}
+
+func (c *Client) completeOne() {
+	if c.outstanding > 0 {
+		c.outstanding--
+	}
+	c.expireBacklog()
+	for c.outstanding < c.cfg.Window && len(c.backlog) > 0 {
+		e := c.backlog[0]
+		c.backlog = c.backlog[1:]
+		c.issue(e.id)
+	}
+}

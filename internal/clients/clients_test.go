@@ -1,0 +1,186 @@
+package clients
+
+import (
+	"testing"
+	"time"
+
+	"speakup/internal/core"
+	"speakup/internal/sim"
+	"speakup/internal/simclock"
+)
+
+// idGen returns a process-unique id counter.
+func idGen() func() core.RequestID {
+	var n uint64
+	return func() core.RequestID {
+		n++
+		return core.RequestID(n)
+	}
+}
+
+func TestPoissonRateApproximatesLambda(t *testing.T) {
+	loop := sim.NewLoop(1)
+	issued := 0
+	c := New(simclock.New(loop), Config{Lambda: 2, Window: 1000, Seed: 3}, idGen())
+	c.Issue = func(id core.RequestID) { issued++ }
+	c.Start()
+	loop.Run(300 * time.Second)
+	// Expect ~600 arrivals; Poisson sd ~24.5.
+	if issued < 500 || issued > 700 {
+		t.Fatalf("issued %d in 300s at lambda=2, want ~600", issued)
+	}
+}
+
+func TestWindowLimitsOutstanding(t *testing.T) {
+	loop := sim.NewLoop(2)
+	c := New(simclock.New(loop), Config{Lambda: 40, Window: 20, Seed: 4}, idGen())
+	maxOut := 0
+	c.Issue = func(id core.RequestID) {
+		if c.Outstanding() > maxOut {
+			maxOut = c.Outstanding()
+		}
+	}
+	c.Start()
+	loop.Run(30 * time.Second) // nothing ever completes
+	if maxOut != 20 {
+		t.Fatalf("max outstanding = %d, want 20", maxOut)
+	}
+	if c.Outstanding() != 20 {
+		t.Fatalf("outstanding = %d, want pinned at window", c.Outstanding())
+	}
+}
+
+func TestBacklogTimeoutLogsDenials(t *testing.T) {
+	loop := sim.NewLoop(3)
+	c := New(simclock.New(loop), Config{Lambda: 10, Window: 1, Seed: 5}, idGen())
+	denied := 0
+	c.OnDenial = func(id core.RequestID) { denied++ }
+	c.Issue = func(id core.RequestID) {} // request never completes
+	c.Start()
+	loop.Run(60 * time.Second)
+	st := c.Stats()
+	if st.Denied == 0 || denied == 0 {
+		t.Fatal("no denials despite a stuck window")
+	}
+	// All generated except the issued one and the fresh (<10s) backlog
+	// should be denied.
+	if st.Denied+uint64(c.BacklogLen())+st.Issued != st.Generated {
+		t.Fatalf("accounting broken: %+v backlog=%d", st, c.BacklogLen())
+	}
+	if st.Issued != 1 {
+		t.Fatalf("issued = %d, want 1 (window filled)", st.Issued)
+	}
+}
+
+func TestServedFreesWindowAndDrainsBacklog(t *testing.T) {
+	loop := sim.NewLoop(4)
+	clock := simclock.New(loop)
+	c := New(clock, Config{Lambda: 5, Window: 1, Seed: 6}, idGen())
+	var inFlight []core.RequestID
+	c.Issue = func(id core.RequestID) { inFlight = append(inFlight, id) }
+	c.Start()
+	// Serve every outstanding request 100ms after issue.
+	var pump func()
+	pump = func() {
+		loop.After(100*time.Millisecond, func() {
+			// Snapshot: serving refills the window, which appends new
+			// ids to inFlight mid-loop; those belong to the next batch.
+			batch := inFlight
+			inFlight = nil
+			for _, id := range batch {
+				c.RequestServed(id)
+			}
+			pump()
+		})
+	}
+	pump()
+	loop.Run(120 * time.Second)
+	st := c.Stats()
+	if st.Served < 400 {
+		t.Fatalf("served = %d, want most of ~600 offered", st.Served)
+	}
+	if st.Denied > st.Generated/10 {
+		t.Fatalf("excessive denials with a fast server: %+v", st)
+	}
+}
+
+func TestFailedAlsoFreesWindow(t *testing.T) {
+	loop := sim.NewLoop(5)
+	c := New(simclock.New(loop), Config{Lambda: 5, Window: 1, Seed: 7}, idGen())
+	c.Issue = func(id core.RequestID) {
+		// Fail instantly (OFF-mode busy reply).
+		loop.After(time.Millisecond, func() { c.RequestFailed(id) })
+	}
+	c.Start()
+	loop.Run(60 * time.Second)
+	st := c.Stats()
+	if st.Failed == 0 {
+		t.Fatal("no failures recorded")
+	}
+	// With instant failures the window never clogs: no denials.
+	if st.Denied != 0 {
+		t.Fatalf("denials with instant turnaround: %+v", st)
+	}
+	if st.Issued != st.Generated {
+		t.Fatalf("issued %d != generated %d", st.Issued, st.Generated)
+	}
+}
+
+func TestStopHaltsGeneration(t *testing.T) {
+	loop := sim.NewLoop(6)
+	c := New(simclock.New(loop), Config{Lambda: 100, Window: 5, Seed: 8}, idGen())
+	c.Issue = func(id core.RequestID) {}
+	c.Start()
+	loop.Run(time.Second)
+	before := c.Stats().Generated
+	c.Stop()
+	loop.Run(10 * time.Second)
+	if c.Stats().Generated != before {
+		t.Fatal("generation continued after Stop")
+	}
+}
+
+func TestOfferedCountsIssuedPlusDenied(t *testing.T) {
+	s := Stats{Issued: 10, Denied: 3}
+	if s.Offered() != 13 {
+		t.Fatalf("offered = %d", s.Offered())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		loop := sim.NewLoop(7)
+		c := New(simclock.New(loop), Config{Lambda: 7, Window: 2, Seed: 9}, idGen())
+		c.Issue = func(id core.RequestID) {
+			loop.After(50*time.Millisecond, func() { c.RequestServed(id) })
+		}
+		c.Start()
+		loop.Run(60 * time.Second)
+		return c.Stats().Served
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	loop := sim.NewLoop(1)
+	for _, bad := range []Config{{Lambda: 0, Window: 1}, {Lambda: 1, Window: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", bad)
+				}
+			}()
+			New(simclock.New(loop), bad, idGen())
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil nextID did not panic")
+			}
+		}()
+		New(simclock.New(loop), Config{Lambda: 1, Window: 1}, nil)
+	}()
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// fakeClock is a manually-advanced Clock for unit tests.
+type fakeClock struct {
+	now    time.Duration
+	timers []*fakeTimer
+	nextID int
+}
+
+type fakeTimer struct {
+	id   int
+	at   time.Duration
+	fn   func()
+	dead bool
+}
+
+func (c *fakeClock) Now() time.Duration { return c.now }
+
+func (c *fakeClock) After(d time.Duration, fn func()) func() {
+	c.nextID++
+	t := &fakeTimer{id: c.nextID, at: c.now + d, fn: fn}
+	c.timers = append(c.timers, t)
+	return func() { t.dead = true }
+}
+
+// Advance moves time forward, firing due timers in order.
+func (c *fakeClock) Advance(d time.Duration) {
+	target := c.now + d
+	for {
+		// Find the earliest pending timer at or before target.
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.dead {
+				continue
+			}
+			if t.at <= target && (next == nil || t.at < next.at || (t.at == next.at && t.id < next.id)) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		c.now = next.at
+		next.dead = true
+		next.fn()
+	}
+	c.now = target
+	// Compact dead timers.
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.dead {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	sort.Slice(c.timers, func(i, j int) bool { return c.timers[i].at < c.timers[j].at })
+}

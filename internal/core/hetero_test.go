@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// hetHarness wires a HeteroThinner to a scripted fake server.
+type hetHarness struct {
+	clock     *fakeClock
+	th        *HeteroThinner
+	starts    []RequestID
+	suspends  []RequestID
+	resumes   []RequestID
+	aborts    []RequestID
+	done      []RequestID
+	donePaid  map[RequestID]int64
+	encourage map[RequestID]int
+}
+
+func newHetHarness(tau time.Duration) *hetHarness {
+	h := &hetHarness{
+		clock:     &fakeClock{},
+		donePaid:  make(map[RequestID]int64),
+		encourage: make(map[RequestID]int),
+	}
+	h.th = NewHeteroThinner(h.clock, HeteroConfig{Tau: tau})
+	h.th.Start = func(id RequestID) { h.starts = append(h.starts, id) }
+	h.th.Suspend = func(id RequestID) { h.suspends = append(h.suspends, id) }
+	h.th.Resume = func(id RequestID) { h.resumes = append(h.resumes, id) }
+	h.th.Abort = func(id RequestID) { h.aborts = append(h.aborts, id) }
+	h.th.Done = func(id RequestID, paid int64) {
+		h.done = append(h.done, id)
+		h.donePaid[id] = paid
+	}
+	h.th.Encourage = func(id RequestID) { h.encourage[id]++ }
+	return h
+}
+
+func TestHeteroAdmitsTopPayerOnTick(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.RequestArrived(2)
+	h.th.PaymentReceived(1, 100)
+	h.th.PaymentReceived(2, 900)
+	h.clock.Advance(100 * time.Millisecond)
+	if len(h.starts) != 1 || h.starts[0] != 2 {
+		t.Fatalf("starts = %v, want [2]", h.starts)
+	}
+	// Winner's payment was charged (zeroed).
+	if h.th.Ledger().Balance(2) != 0 {
+		t.Fatal("winner's quantum payment not charged")
+	}
+	// Loser's balance persists.
+	if h.th.Ledger().Balance(1) != 100 {
+		t.Fatal("loser's balance lost")
+	}
+}
+
+func TestHeteroActiveKeepsServerWhilePayingMore(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.PaymentReceived(1, 500)
+	h.clock.Advance(100 * time.Millisecond) // 1 admitted
+	// Each quantum 1 pays 300 while challenger 2 trickles 50; the
+	// challenger's accumulated bid (max 250 over 5 quanta) never
+	// exceeds the active request's per-quantum payment.
+	h.th.RequestArrived(2)
+	for i := 0; i < 5; i++ {
+		h.th.PaymentReceived(1, 300)
+		h.th.PaymentReceived(2, 50)
+		h.clock.Advance(100 * time.Millisecond)
+	}
+	if len(h.suspends) != 0 {
+		t.Fatalf("active request suspended despite outbidding: %v", h.suspends)
+	}
+	// 2's payments accumulate across lost quanta (the paper's rule:
+	// only the *winner's* payment is zeroed).
+	if h.th.Ledger().Balance(2) != 250 {
+		t.Fatalf("challenger balance = %d, want 250", h.th.Ledger().Balance(2))
+	}
+}
+
+func TestHeteroSuspendAndResume(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.PaymentReceived(1, 100)
+	h.clock.Advance(100 * time.Millisecond) // 1 active
+	h.th.RequestArrived(2)
+	h.th.PaymentReceived(2, 1000) // outbids 1 (who pays nothing more)
+	h.clock.Advance(100 * time.Millisecond)
+	if len(h.suspends) != 1 || h.suspends[0] != 1 {
+		t.Fatalf("suspends = %v, want [1]", h.suspends)
+	}
+	if len(h.starts) != 2 || h.starts[1] != 2 {
+		t.Fatalf("starts = %v, want [1 2]", h.starts)
+	}
+	// Now 1 outbids 2.
+	h.th.PaymentReceived(1, 2000)
+	h.clock.Advance(100 * time.Millisecond)
+	if len(h.suspends) != 2 || h.suspends[1] != 2 {
+		t.Fatalf("suspends = %v, want [1 2]", h.suspends)
+	}
+	if len(h.resumes) != 1 || h.resumes[0] != 1 {
+		t.Fatalf("resumes = %v, want [1] (RESUME, not Start)", h.resumes)
+	}
+}
+
+func TestHeteroAbortAfterLongSuspension(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.PaymentReceived(1, 100)
+	h.clock.Advance(100 * time.Millisecond) // 1 active
+	h.th.RequestArrived(2)
+	h.th.PaymentReceived(2, 1000)
+	h.clock.Advance(100 * time.Millisecond) // 1 suspended, 2 active
+	// 2 keeps outbidding for >30s; 1 stays suspended and gets aborted.
+	for i := 0; i < 310; i++ {
+		h.th.PaymentReceived(2, 1000)
+		h.clock.Advance(100 * time.Millisecond)
+	}
+	found := false
+	for _, id := range h.aborts {
+		if id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("request 1 not aborted after 30s suspension; aborts=%v", h.aborts)
+	}
+}
+
+func TestHeteroServerDoneFreesAndAdmitsNext(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.PaymentReceived(1, 100)
+	h.clock.Advance(100 * time.Millisecond)
+	h.th.RequestArrived(2)
+	h.th.PaymentReceived(2, 50)
+	h.th.ServerDone(1)
+	if len(h.done) != 1 || h.done[0] != 1 {
+		t.Fatalf("done = %v", h.done)
+	}
+	// ServerDone triggers an immediate tick: 2 admitted without
+	// waiting for the next quantum boundary.
+	if len(h.starts) != 2 || h.starts[1] != 2 {
+		t.Fatalf("starts = %v, want [1 2]", h.starts)
+	}
+	if h.donePaid[1] != 100 {
+		t.Fatalf("total charged to 1 = %d, want 100", h.donePaid[1])
+	}
+}
+
+func TestHeteroChargesAccumulateAcrossQuanta(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.PaymentReceived(1, 100)
+	h.clock.Advance(100 * time.Millisecond) // charged 100
+	for i := 0; i < 3; i++ {
+		h.th.PaymentReceived(1, 100)
+		h.clock.Advance(100 * time.Millisecond) // charged 100 each tick
+	}
+	h.th.ServerDone(1)
+	if h.donePaid[1] != 400 {
+		t.Fatalf("lifetime charge = %d, want 400", h.donePaid[1])
+	}
+}
+
+func TestHeteroHardRequestsPayProportionally(t *testing.T) {
+	// Two clients with equal bandwidth; client 2's request takes 5x as
+	// many quanta. Over the run, each quantum of service costs one
+	// auction win, so 2 pays ~5x what 1 pays in total.
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.RequestArrived(1)
+	h.th.RequestArrived(2)
+	quanta1, quanta2 := 2, 10
+	var served1, served2 int
+	h.th.Start = func(id RequestID) {}
+	h.th.Resume = func(id RequestID) {}
+	// Both pay the same rate every quantum.
+	for i := 0; i < 60; i++ {
+		h.th.PaymentReceived(1, 100)
+		h.th.PaymentReceived(2, 100)
+		h.clock.Advance(100 * time.Millisecond)
+		if id, ok := h.th.Active(); ok {
+			switch id {
+			case 1:
+				served1++
+				if served1 == quanta1 {
+					h.th.ServerDone(1)
+				}
+			case 2:
+				served2++
+				if served2 == quanta2 {
+					h.th.ServerDone(2)
+				}
+			}
+		}
+	}
+	if h.donePaid[1] == 0 || h.donePaid[2] == 0 {
+		t.Fatalf("both must finish: paid=%v servedQuanta=%d/%d", h.donePaid, served1, served2)
+	}
+	ratio := float64(h.donePaid[2]) / float64(h.donePaid[1])
+	if ratio < 3 || ratio > 7 {
+		t.Fatalf("hard request paid %.1fx the easy one, want ~5x", ratio)
+	}
+}
+
+func TestHeteroOrphanPaymentEvicted(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.th.PaymentReceived(9, 500) // no request ever follows
+	h.clock.Advance(15 * time.Second)
+	if h.th.Ledger().Contains(9) {
+		t.Fatal("orphan payment channel not evicted")
+	}
+	if h.th.Stats().WastedBytes != 500 {
+		t.Fatalf("wasted = %d, want 500", h.th.Stats().WastedBytes)
+	}
+}
+
+func TestHeteroIdleServerAdmitsWithinTau(t *testing.T) {
+	h := newHetHarness(100 * time.Millisecond)
+	h.clock.Advance(time.Second) // idle ticks with no contenders
+	h.th.RequestArrived(1)
+	h.clock.Advance(100 * time.Millisecond)
+	if len(h.starts) != 1 {
+		t.Fatalf("idle-server admission failed: %v", h.starts)
+	}
+}

@@ -1,0 +1,213 @@
+// Package core implements speak-up's central mechanism: the thinner.
+//
+// The thinner is the front-end the paper places before a protected
+// server (§3). It performs *encouragement* — causing clients to send
+// payment bytes when the server is overloaded — and *proportional
+// allocation* — admitting, each time the server frees up, the
+// contending request that has paid the most (the virtual auction of
+// §3.3). The package also implements the random-drop/aggressive-retry
+// variant of §3.2, the no-defense pass-through baseline used by the
+// paper's "OFF" experiments, and the heterogeneous-request quantum
+// scheduler of §5.
+//
+// Everything here is transport-independent and single-threaded: the
+// same state machines drive the discrete-event simulation
+// (internal/scenario) and the real-socket web front-end (internal/web,
+// which serializes calls with a mutex).
+package core
+
+import (
+	"container/heap"
+	"time"
+)
+
+// RequestID identifies one client request. The request message and its
+// payment channel carry the same ID so the thinner can correlate them
+// (the paper's prototype uses an id field in both HTTP requests).
+type RequestID uint64
+
+// entry is one contending request in the ledger.
+type entry struct {
+	id       RequestID
+	paid     int64 // bytes credited since entry creation (or last Charge)
+	eligible bool  // request message has arrived; may win auctions
+	heapIdx  int   // index in the eligible heap, -1 if not eligible
+	created  time.Duration
+	lastPay  time.Duration
+}
+
+// Ledger tracks contending requests and their payment balances and
+// answers "who paid most" in O(log n). Only eligible entries — those
+// whose request message has arrived — participate in winner selection;
+// payment may precede eligibility (bytes arrive before the request
+// does, as happens for bandwidth-saturated attackers).
+type Ledger struct {
+	entries map[RequestID]*entry
+	heap    payHeap // eligible entries, max-ordered by (paid, -id)
+
+	// Totals for reporting.
+	TotalCredited int64
+	TotalRemoved  int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[RequestID]*entry)}
+}
+
+type payHeap []*entry
+
+func (h payHeap) Len() int { return len(h) }
+func (h payHeap) Less(i, j int) bool {
+	if h[i].paid != h[j].paid {
+		return h[i].paid > h[j].paid
+	}
+	return h[i].id < h[j].id // deterministic tie-break: older request wins
+}
+func (h payHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *payHeap) Push(x any) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *payHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Credit adds bytes to id's balance, creating the entry (ineligible)
+// if absent. now is the caller's clock reading, used for orphan and
+// inactivity accounting. It returns true if the entry was created.
+func (l *Ledger) Credit(id RequestID, bytes int64, now time.Duration) bool {
+	if bytes < 0 {
+		panic("core: negative payment")
+	}
+	e, ok := l.entries[id]
+	if !ok {
+		e = &entry{id: id, heapIdx: -1, created: now}
+		l.entries[id] = e
+	}
+	e.paid += bytes
+	e.lastPay = now
+	l.TotalCredited += bytes
+	if e.eligible && bytes > 0 {
+		heap.Fix(&l.heap, e.heapIdx)
+	}
+	return !ok
+}
+
+// MarkEligible records that id's request message has arrived, creating
+// the entry if needed. Eligible entries participate in auctions.
+func (l *Ledger) MarkEligible(id RequestID, now time.Duration) {
+	e, ok := l.entries[id]
+	if !ok {
+		e = &entry{id: id, heapIdx: -1, created: now, lastPay: now}
+		l.entries[id] = e
+	}
+	if !e.eligible {
+		e.eligible = true
+		heap.Push(&l.heap, e)
+	}
+}
+
+// Balance returns id's current balance (0 if unknown).
+func (l *Ledger) Balance(id RequestID) int64 {
+	if e, ok := l.entries[id]; ok {
+		return e.paid
+	}
+	return 0
+}
+
+// Contains reports whether id has an entry (eligible or not).
+func (l *Ledger) Contains(id RequestID) bool {
+	_, ok := l.entries[id]
+	return ok
+}
+
+// Eligible returns the number of entries eligible to win an auction.
+func (l *Ledger) Eligible() int { return len(l.heap) }
+
+// Size returns the total number of entries, including orphans.
+func (l *Ledger) Size() int { return len(l.entries) }
+
+// Winner returns the eligible entry with the highest balance (ties to
+// the lowest id). ok is false when no entry is eligible.
+func (l *Ledger) Winner() (id RequestID, paid int64, ok bool) {
+	if len(l.heap) == 0 {
+		return 0, 0, false
+	}
+	top := l.heap[0]
+	return top.id, top.paid, true
+}
+
+// Charge zeroes id's balance without removing it (the §5 quantum
+// scheduler charges the winner one quantum and keeps it contending).
+// It returns the amount charged.
+func (l *Ledger) Charge(id RequestID) int64 {
+	e, ok := l.entries[id]
+	if !ok {
+		return 0
+	}
+	paid := e.paid
+	e.paid = 0
+	l.TotalRemoved += paid
+	if e.eligible {
+		heap.Fix(&l.heap, e.heapIdx)
+	}
+	return paid
+}
+
+// Remove deletes id and returns its final balance.
+func (l *Ledger) Remove(id RequestID) int64 {
+	e, ok := l.entries[id]
+	if !ok {
+		return 0
+	}
+	if e.eligible {
+		heap.Remove(&l.heap, e.heapIdx)
+	}
+	delete(l.entries, id)
+	l.TotalRemoved += e.paid
+	return e.paid
+}
+
+// Orphans appends to dst the ids of ineligible entries created at or
+// before cutoff (payment channels whose request never arrived) and
+// returns it.
+func (l *Ledger) Orphans(dst []RequestID, cutoff time.Duration) []RequestID {
+	for id, e := range l.entries {
+		if !e.eligible && e.created <= cutoff {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Inactive appends to dst the ids of eligible entries with no payment
+// activity since cutoff and returns it.
+func (l *Ledger) Inactive(dst []RequestID, cutoff time.Duration) []RequestID {
+	for _, e := range l.heap {
+		if e.lastPay <= cutoff {
+			dst = append(dst, e.id)
+		}
+	}
+	return dst
+}
+
+// OutstandingBytes returns the sum of all current balances.
+func (l *Ledger) OutstandingBytes() int64 {
+	var sum int64
+	for _, e := range l.entries {
+		sum += e.paid
+	}
+	return sum
+}

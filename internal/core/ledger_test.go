@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLedgerCreditCreatesOrphan(t *testing.T) {
+	l := NewLedger()
+	created := l.Credit(7, 100, 0)
+	if !created {
+		t.Fatal("first credit must create the entry")
+	}
+	if l.Credit(7, 50, time.Second) {
+		t.Fatal("second credit must not report creation")
+	}
+	if l.Balance(7) != 150 {
+		t.Fatalf("balance = %d, want 150", l.Balance(7))
+	}
+	if l.Eligible() != 0 {
+		t.Fatal("orphan must not be eligible")
+	}
+	if _, _, ok := l.Winner(); ok {
+		t.Fatal("winner must not exist among orphans")
+	}
+}
+
+func TestLedgerEligibilityAndWinner(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 100, 0)
+	l.Credit(2, 300, 0)
+	l.Credit(3, 200, 0)
+	l.MarkEligible(1, 0)
+	l.MarkEligible(3, 0)
+	id, paid, ok := l.Winner()
+	if !ok || id != 3 || paid != 200 {
+		t.Fatalf("winner = %d/%d/%v, want 3/200 (2 is ineligible)", id, paid, ok)
+	}
+	l.MarkEligible(2, 0)
+	if id, paid, _ := l.Winner(); id != 2 || paid != 300 {
+		t.Fatalf("winner = %d/%d, want 2/300", id, paid)
+	}
+}
+
+func TestLedgerWinnerTieBreaksLowID(t *testing.T) {
+	l := NewLedger()
+	for _, id := range []RequestID{9, 4, 6} {
+		l.Credit(id, 500, 0)
+		l.MarkEligible(id, 0)
+	}
+	if id, _, _ := l.Winner(); id != 4 {
+		t.Fatalf("tie-break winner = %d, want 4", id)
+	}
+}
+
+func TestLedgerRemove(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 100, 0)
+	l.MarkEligible(1, 0)
+	l.Credit(2, 50, 0)
+	l.MarkEligible(2, 0)
+	if got := l.Remove(1); got != 100 {
+		t.Fatalf("removed balance = %d, want 100", got)
+	}
+	if id, _, _ := l.Winner(); id != 2 {
+		t.Fatalf("winner after remove = %d, want 2", id)
+	}
+	if l.Remove(99) != 0 {
+		t.Fatal("removing unknown id must return 0")
+	}
+	if l.Size() != 1 || l.Eligible() != 1 {
+		t.Fatalf("size/eligible = %d/%d", l.Size(), l.Eligible())
+	}
+}
+
+func TestLedgerChargeKeepsEntry(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 400, 0)
+	l.MarkEligible(1, 0)
+	if got := l.Charge(1); got != 400 {
+		t.Fatalf("charged %d, want 400", got)
+	}
+	if l.Balance(1) != 0 || !l.Contains(1) {
+		t.Fatal("charge must zero balance but keep the entry")
+	}
+	l.Credit(2, 10, 0)
+	l.MarkEligible(2, 0)
+	if id, _, _ := l.Winner(); id != 2 {
+		t.Fatal("charged entry must drop in the auction order")
+	}
+}
+
+func TestLedgerMarkEligibleWithoutCredit(t *testing.T) {
+	l := NewLedger()
+	l.MarkEligible(5, time.Second)
+	if l.Balance(5) != 0 || l.Eligible() != 1 {
+		t.Fatal("request-before-payment entry broken")
+	}
+	if id, paid, ok := l.Winner(); !ok || id != 5 || paid != 0 {
+		t.Fatal("zero-balance eligible entry must be able to win")
+	}
+}
+
+func TestLedgerOrphans(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 10, 0)             // orphan from t=0
+	l.Credit(2, 10, 5*time.Second) // orphan from t=5s
+	l.Credit(3, 10, 0)             // becomes eligible
+	l.MarkEligible(3, time.Second)
+	got := l.Orphans(nil, 2*time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("orphans(cutoff=2s) = %v, want [1]", got)
+	}
+	got = l.Orphans(nil, 10*time.Second)
+	if len(got) != 2 {
+		t.Fatalf("orphans(cutoff=10s) = %v, want both", got)
+	}
+}
+
+func TestLedgerInactive(t *testing.T) {
+	l := NewLedger()
+	l.MarkEligible(1, 0)
+	l.MarkEligible(2, 0)
+	l.Credit(2, 5, 40*time.Second)
+	got := l.Inactive(nil, 30*time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("inactive = %v, want [1]", got)
+	}
+}
+
+func TestLedgerNegativeCreditPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative credit did not panic")
+		}
+	}()
+	NewLedger().Credit(1, -5, 0)
+}
+
+func TestLedgerTotals(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 100, 0)
+	l.Credit(2, 200, 0)
+	l.MarkEligible(1, 0)
+	l.Remove(1)
+	if l.TotalCredited != 300 || l.TotalRemoved != 100 {
+		t.Fatalf("totals = %d/%d, want 300/100", l.TotalCredited, l.TotalRemoved)
+	}
+	if l.OutstandingBytes() != 200 {
+		t.Fatalf("outstanding = %d, want 200", l.OutstandingBytes())
+	}
+}
+
+// Property: under random credit/eligible/remove/charge sequences, the
+// winner is always the max-balance eligible entry, and conservation
+// holds: TotalCredited == TotalRemoved + OutstandingBytes.
+func TestQuickLedgerInvariants(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		ID    uint8
+		Bytes uint16
+	}
+	f := func(ops []op) bool {
+		l := NewLedger()
+		now := time.Duration(0)
+		for _, o := range ops {
+			id := RequestID(o.ID % 16)
+			now += time.Millisecond
+			switch o.Kind % 4 {
+			case 0:
+				l.Credit(id, int64(o.Bytes), now)
+			case 1:
+				l.MarkEligible(id, now)
+			case 2:
+				l.Remove(id)
+			case 3:
+				l.Charge(id)
+			}
+			// Invariant: winner equals brute-force max over eligible.
+			wid, wpaid, ok := l.Winner()
+			var bid RequestID
+			var bpaid int64 = -1
+			found := false
+			for cid, e := range l.entries {
+				if !e.eligible {
+					continue
+				}
+				if e.paid > bpaid || (e.paid == bpaid && cid < bid) || !found {
+					if !found || e.paid > bpaid || (e.paid == bpaid && cid < bid) {
+						bid, bpaid = cid, e.paid
+					}
+					found = true
+				}
+			}
+			if ok != found {
+				return false
+			}
+			if ok && (wid != bid || wpaid != bpaid) {
+				return false
+			}
+			if l.TotalCredited != l.TotalRemoved+l.OutstandingBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: heap indices stay consistent (every eligible entry's
+// heapIdx points back at itself).
+func TestQuickLedgerHeapConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLedger()
+		for i := 0; i < 200; i++ {
+			id := RequestID(rng.Intn(24))
+			switch rng.Intn(4) {
+			case 0:
+				l.Credit(id, int64(rng.Intn(1000)), 0)
+			case 1:
+				l.MarkEligible(id, 0)
+			case 2:
+				l.Remove(id)
+			case 3:
+				l.Charge(id)
+			}
+			for idx, e := range l.heap {
+				if e.heapIdx != idx || !e.eligible {
+					return false
+				}
+			}
+			for _, e := range l.entries {
+				if !e.eligible && e.heapIdx != -1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(52))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"time"
+)
+
+// Clock abstracts time so the thinner runs unchanged over virtual time
+// (simulation) and wall-clock time (real sockets).
+type Clock interface {
+	// Now returns the elapsed time since an arbitrary epoch.
+	Now() time.Duration
+	// After schedules fn after d; the returned function cancels it.
+	After(d time.Duration, fn func()) (cancel func())
+}
+
+// Config tunes a Thinner. The zero value selects the paper's settings.
+type Config struct {
+	// OrphanTimeout evicts payment channels whose request message has
+	// not arrived (§7.3: "the thinner accepts payment for 10 seconds,
+	// at which point it times out the payment channel"). Default 10s.
+	OrphanTimeout time.Duration
+	// InactivityTimeout evicts contenders that stopped paying entirely
+	// (e.g. their client vanished). Default 30s.
+	InactivityTimeout time.Duration
+	// SweepInterval is how often timeouts are checked. Default 1s.
+	SweepInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.OrphanTimeout == 0 {
+		c.OrphanTimeout = 10 * time.Second
+	}
+	if c.InactivityTimeout == 0 {
+		c.InactivityTimeout = 30 * time.Second
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = time.Second
+	}
+	return c
+}
+
+// Stats counts thinner activity for the evaluation harness.
+type Stats struct {
+	Admitted       uint64 // requests handed to the server
+	AdmittedDirect uint64 // of those, admitted with no auction (server free)
+	Auctions       uint64 // auctions held
+	Evicted        uint64 // payment channels terminated by timeout
+	WastedBytes    int64  // payment bytes of evicted channels
+	PaidBytes      int64  // payment bytes of auction winners (the prices)
+}
+
+// Thinner is the virtual-auction front-end of §3.3.
+//
+// Wiring: the application layer calls RequestArrived, PaymentReceived,
+// and ServerDone; the thinner invokes the callbacks to act. All
+// methods must be called from one goroutine (or under one lock).
+type Thinner struct {
+	clock     Clock
+	cfg       Config
+	ledger    *Ledger
+	busy      bool
+	stats     Stats
+	goingRate int64 // winning bid of the most recent auction
+
+	stopSweep func()
+
+	// Admit delivers a request to the server; paid is the winning bid
+	// in bytes (0 when the server was free — no auction needed).
+	Admit func(id RequestID, paid int64)
+	// Encourage tells a client to start (or keep) paying; sent when a
+	// request arrives and the server is busy.
+	Encourage func(id RequestID)
+	// Evict terminates a payment channel: the client should stop
+	// sending. Called for auction winners (stop paying, you're in) and
+	// for timed-out channels. wasted is true for timeouts.
+	Evict func(id RequestID, paid int64, wasted bool)
+}
+
+// NewThinner creates a virtual-auction thinner and starts its timeout
+// sweeper on the given clock.
+func NewThinner(clock Clock, cfg Config) *Thinner {
+	t := &Thinner{clock: clock, cfg: cfg.withDefaults(), ledger: NewLedger()}
+	t.scheduleSweep()
+	return t
+}
+
+// Ledger exposes the payment ledger (read-mostly; used by tests and
+// the live-status endpoints).
+func (t *Thinner) Ledger() *Ledger { return t.ledger }
+
+// Stats returns a copy of the activity counters.
+func (t *Thinner) Stats() Stats { return t.stats }
+
+// Busy reports whether the server is occupied.
+func (t *Thinner) Busy() bool { return t.busy }
+
+// GoingRate returns the price of the most recent auction in bytes
+// (§3.3: "the going rate for access is the winning bid from the most
+// recent auction"). It is 0 before any auction.
+func (t *Thinner) GoingRate() int64 { return t.goingRate }
+
+// Stop cancels the timeout sweeper.
+func (t *Thinner) Stop() {
+	if t.stopSweep != nil {
+		t.stopSweep()
+		t.stopSweep = nil
+	}
+}
+
+// RequestArrived processes a client request message. If the server is
+// free it is admitted immediately; otherwise the client becomes an
+// eligible contender and is encouraged to pay.
+func (t *Thinner) RequestArrived(id RequestID) {
+	if !t.busy {
+		t.busy = true
+		paid := t.ledger.Remove(id) // any pre-paid bytes count as its price
+		t.stats.Admitted++
+		t.stats.AdmittedDirect++
+		t.stats.PaidBytes += paid
+		if t.Admit != nil {
+			t.Admit(id, paid)
+		}
+		return
+	}
+	t.ledger.MarkEligible(id, t.clock.Now())
+	if t.Encourage != nil {
+		t.Encourage(id)
+	}
+}
+
+// PaymentReceived credits bytes to id. Payment may arrive before the
+// request message; such entries are orphans until the request shows up
+// and are evicted after OrphanTimeout.
+func (t *Thinner) PaymentReceived(id RequestID, bytes int64) {
+	t.ledger.Credit(id, bytes, t.clock.Now())
+}
+
+// ServerDone signals that the server finished a request. The thinner
+// holds the virtual auction: the highest-paid eligible contender is
+// admitted and its payment channel terminated.
+func (t *Thinner) ServerDone() {
+	t.busy = false
+	id, paid, ok := t.ledger.Winner()
+	if !ok {
+		return // no contenders; server idles until the next request
+	}
+	t.stats.Auctions++
+	t.ledger.Remove(id)
+	t.busy = true
+	t.goingRate = paid
+	t.stats.Admitted++
+	t.stats.PaidBytes += paid
+	if t.Evict != nil {
+		t.Evict(id, paid, false)
+	}
+	if t.Admit != nil {
+		t.Admit(id, paid)
+	}
+}
+
+func (t *Thinner) scheduleSweep() {
+	t.stopSweep = t.clock.After(t.cfg.SweepInterval, func() {
+		t.sweep()
+		t.scheduleSweep()
+	})
+}
+
+// sweep evicts orphaned payment channels and inactive contenders.
+func (t *Thinner) sweep() {
+	now := t.clock.Now()
+	var ids []RequestID
+	ids = t.ledger.Orphans(ids, now-t.cfg.OrphanTimeout)
+	ids = t.ledger.Inactive(ids, now-t.cfg.InactivityTimeout)
+	for _, id := range ids {
+		paid := t.ledger.Remove(id)
+		t.stats.Evicted++
+		t.stats.WastedBytes += paid
+		if t.Evict != nil {
+			t.Evict(id, paid, true)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PassThrough is the no-defense baseline the paper's "OFF" experiments
+// use (§3 illustration, §7.2): when the server is free, the next
+// arriving request is served; requests arriving while it is busy are
+// dropped. Over Poisson arrivals this allocates the server in
+// proportion to request rates — which is exactly why attackers win
+// without speak-up.
+type PassThrough struct {
+	busy  bool
+	stats Stats
+
+	// Admit delivers a request to the server.
+	Admit func(id RequestID)
+	// Drop rejects a request (the thinner replies "busy" immediately).
+	Drop func(id RequestID)
+}
+
+// NewPassThrough returns the OFF-mode front-end.
+func NewPassThrough() *PassThrough { return &PassThrough{} }
+
+// Stats returns a copy of the activity counters.
+func (p *PassThrough) Stats() Stats { return p.stats }
+
+// Busy reports whether the server is occupied.
+func (p *PassThrough) Busy() bool { return p.busy }
+
+// RequestArrived admits the request if the server is free, else drops it.
+func (p *PassThrough) RequestArrived(id RequestID) {
+	if p.busy {
+		p.stats.Evicted++
+		if p.Drop != nil {
+			p.Drop(id)
+		}
+		return
+	}
+	p.busy = true
+	p.stats.Admitted++
+	p.stats.AdmittedDirect++
+	if p.Admit != nil {
+		p.Admit(id)
+	}
+}
+
+// ServerDone signals that the server finished a request.
+func (p *PassThrough) ServerDone() { p.busy = false }
+
+// RandomDrop is the §3.2 speak-up variant: the thinner admits each
+// incoming request with probability prob and asks the client to retry
+// otherwise; clients pipeline congestion-controlled retries. The
+// admission probability adapts so the admitted rate tracks the
+// server's capacity c: each adaptation interval it sets
+// prob = c / (measured arrival rate).
+//
+// The price (retries per service) emerges as 1/prob = (B+G)/c, giving
+// the same bandwidth-proportional allocation as the auction (§3.2).
+type RandomDrop struct {
+	clock Clock
+	rng   *rand.Rand
+	cfg   RandomDropConfig
+
+	prob     float64
+	arrived  int // requests in the current adaptation interval
+	stats    Stats
+	stopTick func()
+
+	queue []RequestID // admitted, waiting for the server
+	busy  bool
+
+	// Admit delivers a request to the server.
+	Admit func(id RequestID)
+	// Retry asks the client to retry now (the synchronous please-retry
+	// signal; with pipelined clients it is informational).
+	Retry func(id RequestID)
+}
+
+// RandomDropConfig tunes a RandomDrop front-end.
+type RandomDropConfig struct {
+	// Capacity is the server's rate c in requests/second. Required.
+	Capacity float64
+	// AdaptEvery is the probability-adaptation interval. Default 1s.
+	AdaptEvery time.Duration
+	// MaxQueue bounds the admitted-but-unserved queue; beyond it,
+	// admitted requests are dropped (the server is strictly paced).
+	// Default 2.
+	MaxQueue int
+	// Seed seeds the drop coin. The simulation passes a fixed seed for
+	// reproducibility.
+	Seed int64
+}
+
+func (c RandomDropConfig) withDefaults() RandomDropConfig {
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = time.Second
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2
+	}
+	return c
+}
+
+// NewRandomDrop creates the §3.2 front-end and starts its adaptation
+// timer on the given clock.
+func NewRandomDrop(clock Clock, cfg RandomDropConfig) *RandomDrop {
+	if cfg.Capacity <= 0 {
+		panic("core: RandomDrop requires Capacity > 0")
+	}
+	r := &RandomDrop{
+		clock: clock,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg.withDefaults(),
+		prob:  1,
+	}
+	r.scheduleTick()
+	return r
+}
+
+// Stats returns a copy of the activity counters.
+func (r *RandomDrop) Stats() Stats { return r.stats }
+
+// Prob returns the current admission probability (the price is 1/Prob).
+func (r *RandomDrop) Prob() float64 { return r.prob }
+
+// Stop cancels the adaptation timer.
+func (r *RandomDrop) Stop() {
+	if r.stopTick != nil {
+		r.stopTick()
+		r.stopTick = nil
+	}
+}
+
+func (r *RandomDrop) scheduleTick() {
+	r.stopTick = r.clock.After(r.cfg.AdaptEvery, func() {
+		rate := float64(r.arrived) / r.cfg.AdaptEvery.Seconds()
+		r.arrived = 0
+		if rate <= r.cfg.Capacity {
+			r.prob = 1
+		} else {
+			r.prob = r.cfg.Capacity / rate
+		}
+		r.scheduleTick()
+	})
+}
+
+// RequestArrived applies the drop coin. Admitted requests go to the
+// server (or its short queue); dropped ones trigger a retry signal.
+func (r *RandomDrop) RequestArrived(id RequestID) {
+	r.arrived++
+	if r.rng.Float64() >= r.prob || len(r.queue) >= r.cfg.MaxQueue {
+		r.stats.Evicted++
+		if r.Retry != nil {
+			r.Retry(id)
+		}
+		return
+	}
+	if r.busy {
+		r.queue = append(r.queue, id)
+		return
+	}
+	r.busy = true
+	r.stats.Admitted++
+	if r.Admit != nil {
+		r.Admit(id)
+	}
+}
+
+// ServerDone signals request completion; the next queued admitted
+// request (if any) starts.
+func (r *RandomDrop) ServerDone() {
+	r.busy = false
+	if len(r.queue) == 0 {
+		return
+	}
+	id := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	r.stats.Admitted++
+	if r.Admit != nil {
+		r.Admit(id)
+	}
+}

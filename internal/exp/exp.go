@@ -1,0 +1,278 @@
+// Package exp defines one runnable experiment per table and figure in
+// the paper's evaluation (§7), at configurable duration. The benchmark
+// harness (bench_test.go) runs them at reduced duration; cmd/repro
+// runs them at paper scale (600 virtual seconds). Each experiment
+// returns typed data plus a rendered table whose rows match what the
+// paper's figure reports.
+package exp
+
+import (
+	"time"
+
+	"speakup/internal/appsim"
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+)
+
+// Opts scales the experiments.
+type Opts struct {
+	// Duration is the virtual time per run. The paper uses 600s; the
+	// default here is 60s, which preserves every qualitative shape.
+	Duration time.Duration
+	// Seed makes runs reproducible. Defaults to 1.
+	Seed int64
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Duration == 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// equalMix returns the standard 50-client, 2 Mbit/s-per-client
+// population with nGood good clients and 50-nGood bad ones.
+func equalMix(nGood int) []scenario.ClientGroup {
+	return []scenario.ClientGroup{
+		{Name: "good", Count: nGood, Good: true},
+		{Name: "bad", Count: 50 - nGood, Good: false},
+	}
+}
+
+// --- Figure 2 ---
+
+// Fig2Point is one x-position of Figure 2.
+type Fig2Point struct {
+	F       float64 // good fraction of total bandwidth (x axis)
+	With    float64 // good allocation with speak-up
+	Without float64 // good allocation without speak-up
+	Ideal   float64 // = F
+}
+
+// Fig2Result holds the Figure 2 series.
+type Fig2Result struct{ Points []Fig2Point }
+
+// Table renders the paper's Figure 2 series.
+func (r *Fig2Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 2: server allocation to good clients vs their bandwidth fraction (c=100)",
+		"f=G/(G+B)", "with speak-up", "without", "ideal")
+	for _, p := range r.Points {
+		t.AddRow(p.F, p.With, p.Without, p.Ideal)
+	}
+	return t
+}
+
+// Fig2 reproduces Figure 2: 50 clients x 2 Mbit/s, c = 100 req/s,
+// varying the fraction f of good clients; measured with and without
+// speak-up against the ideal proportional line.
+func Fig2(o Opts) *Fig2Result {
+	o = o.withDefaults()
+	res := &Fig2Result{}
+	for _, tenths := range []int{1, 3, 5, 7, 9} {
+		nGood := 5 * tenths // 50 clients: f=0.1 -> 5 good
+		f := float64(tenths) / 10
+		on := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
+			Mode: appsim.ModeAuction, Groups: equalMix(nGood),
+		})
+		off := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
+			Mode: appsim.ModeOff, Groups: equalMix(nGood),
+		})
+		res.Points = append(res.Points, Fig2Point{
+			F: f, With: on.GoodAllocation, Without: off.GoodAllocation, Ideal: f,
+		})
+	}
+	return res
+}
+
+// --- Figures 3, 4, 5 (shared runs: G=B=50 Mbit/s, c in {50,100,200}) ---
+
+// Fig345Point carries everything Figures 3-5 report for one capacity.
+type Fig345Point struct {
+	C float64 // server capacity (requests/s)
+
+	// Figure 3: allocations and service fractions, OFF and ON.
+	GoodAllocOff, BadAllocOff float64
+	GoodAllocOn, BadAllocOn   float64
+	FracGoodServedOff         float64
+	FracGoodServedOn          float64
+
+	// Figure 4 (ON runs): time uploading dummy bytes, served good reqs.
+	PayTimeMean, PayTimeP90 float64 // seconds
+
+	// Figure 5 (ON runs): average price of served requests, bytes.
+	PriceGood, PriceBad, PriceUpperBound float64
+}
+
+// Fig345Result holds the shared series.
+type Fig345Result struct{ Points []Fig345Point }
+
+// Fig345 runs the provisioning experiments once for all three figures:
+// 25 good + 25 bad clients (G = B = 50 Mbit/s), c in {50, 100, 200};
+// c_id = 100.
+func Fig345(o Opts) *Fig345Result {
+	o = o.withDefaults()
+	res := &Fig345Result{}
+	for _, c := range []float64{50, 100, 200} {
+		on := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: c,
+			Mode: appsim.ModeAuction, Groups: equalMix(25),
+		})
+		off := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: c,
+			Mode: appsim.ModeOff, Groups: equalMix(25),
+		})
+		goodOn, badOn := &on.Groups[0], &on.Groups[1]
+		p := Fig345Point{
+			C:                 c,
+			GoodAllocOff:      off.GoodAllocation,
+			BadAllocOff:       1 - off.GoodAllocation,
+			GoodAllocOn:       on.GoodAllocation,
+			BadAllocOn:        1 - on.GoodAllocation,
+			FracGoodServedOff: off.FractionGoodServed,
+			FracGoodServedOn:  on.FractionGoodServed,
+			PayTimeMean:       goodOn.PayTimes.Mean(),
+			PayTimeP90:        goodOn.PayTimes.Percentile(90),
+			PriceGood:         goodOn.Prices.Mean(),
+			PriceBad:          badOn.Prices.Mean(),
+			PriceUpperBound:   100e6 / 8 / c, // (G+B)/c in bytes
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+// Fig3Table renders Figure 3.
+func (r *Fig345Result) Fig3Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 3: allocation and good service vs capacity (G=B=50 Mbit/s, c_id=100)",
+		"c", "mode", "alloc good", "alloc bad", "frac good served")
+	for _, p := range r.Points {
+		t.AddRow(p.C, "OFF", p.GoodAllocOff, p.BadAllocOff, p.FracGoodServedOff)
+		t.AddRow(p.C, "ON", p.GoodAllocOn, p.BadAllocOn, p.FracGoodServedOn)
+	}
+	return t
+}
+
+// Fig4Table renders Figure 4.
+func (r *Fig345Result) Fig4Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 4: time uploading dummy bytes for served good requests (seconds)",
+		"c", "mean", "90th pct")
+	for _, p := range r.Points {
+		t.AddRow(p.C, p.PayTimeMean, p.PayTimeP90)
+	}
+	return t
+}
+
+// Fig5Table renders Figure 5 (KBytes, like the paper's axis).
+func (r *Fig345Result) Fig5Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 5: average price of served requests (KBytes)",
+		"c", "good", "bad", "upper bound (G+B)/c")
+	for _, p := range r.Points {
+		t.AddRow(p.C, p.PriceGood/1000, p.PriceBad/1000, p.PriceUpperBound/1000)
+	}
+	return t
+}
+
+// --- §7.4: empirical adversarial advantage ---
+
+// Sec74Point is one capacity probe.
+type Sec74Point struct {
+	C              float64
+	FracGoodServed float64
+	GoodAllocation float64
+}
+
+// Sec74Result reports the minimum capacity satisfying the good demand.
+type Sec74Result struct {
+	Points []Sec74Point
+	// MinCapacity is the smallest probed c with FracGoodServed >=
+	// Threshold; 0 if none qualified.
+	MinCapacity float64
+	Threshold   float64
+	// IdealCapacity is c_id = g(1+B/G) = 100 for this population.
+	IdealCapacity float64
+}
+
+// Table renders the capacity sweep.
+func (r *Sec74Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Sec 7.4: capacity sweep, G=B=50 Mbit/s (c_id=100); min c serving all good demand",
+		"c", "frac good served", "good allocation")
+	for _, p := range r.Points {
+		t.AddRow(p.C, p.FracGoodServed, p.GoodAllocation)
+	}
+	t.AddRow("min c", r.MinCapacity, "")
+	t.AddRow("overprovisioning vs ideal", r.MinCapacity/r.IdealCapacity, "")
+	return t
+}
+
+// Sec74MinCapacity sweeps c upward from c_id to find the provisioning
+// needed to satisfy (nearly) all good demand — the paper finds 115,
+// i.e. 15% above the bandwidth-proportional ideal.
+func Sec74MinCapacity(o Opts) *Sec74Result {
+	o = o.withDefaults()
+	res := &Sec74Result{Threshold: 0.95, IdealCapacity: 100}
+	for _, c := range []float64{100, 105, 110, 115, 120, 130, 140} {
+		r := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: c,
+			Mode: appsim.ModeAuction, Groups: equalMix(25),
+		})
+		res.Points = append(res.Points, Sec74Point{
+			C: c, FracGoodServed: r.FractionGoodServed, GoodAllocation: r.GoodAllocation,
+		})
+		if res.MinCapacity == 0 && r.FractionGoodServed >= res.Threshold {
+			res.MinCapacity = c
+		}
+	}
+	return res
+}
+
+// Sec74WindowPoint is one bad-client window probe.
+type Sec74WindowPoint struct {
+	W              int
+	BadAllocation  float64
+	GoodAllocation float64
+}
+
+// Sec74WindowResult reports bad-client capture vs their window w.
+type Sec74WindowResult struct{ Points []Sec74WindowPoint }
+
+// Table renders the window sweep.
+func (r *Sec74WindowResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Sec 7.4: bad-client capture vs their window w (c=100, G=B)",
+		"w", "bad allocation", "good allocation")
+	for _, p := range r.Points {
+		t.AddRow(p.W, p.BadAllocation, p.GoodAllocation)
+	}
+	return t
+}
+
+// Sec74WindowSweep varies the bad clients' window w at c=100 (the
+// paper checked w in [1,60] and chose w=20 as conservative).
+func Sec74WindowSweep(o Opts) *Sec74WindowResult {
+	o = o.withDefaults()
+	res := &Sec74WindowResult{}
+	for _, w := range []int{1, 5, 10, 20, 40, 60} {
+		groups := []scenario.ClientGroup{
+			{Name: "good", Count: 25, Good: true},
+			{Name: "bad", Count: 25, Good: false, Window: w},
+		}
+		r := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
+			Mode: appsim.ModeAuction, Groups: groups,
+		})
+		res.Points = append(res.Points, Sec74WindowPoint{
+			W: w, BadAllocation: 1 - r.GoodAllocation, GoodAllocation: r.GoodAllocation,
+		})
+	}
+	return res
+}

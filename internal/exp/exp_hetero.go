@@ -1,0 +1,303 @@
+package exp
+
+import (
+	"time"
+
+	"speakup/internal/appsim"
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+)
+
+// --- Figure 6: heterogeneous client bandwidth ---
+
+// Fig6Point is one bandwidth category.
+type Fig6Point struct {
+	Bandwidth float64 // bits/s
+	Observed  float64 // fraction of server allocated to this category
+	Ideal     float64 // bandwidth-proportional share
+}
+
+// Fig6Result holds the Figure 6 series.
+type Fig6Result struct{ Points []Fig6Point }
+
+// Table renders Figure 6.
+func (r *Fig6Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 6: allocation across 5 bandwidth categories, 50 good LAN clients, c=10",
+		"bandwidth (Mbit/s)", "observed fraction", "ideal fraction")
+	for _, p := range r.Points {
+		t.AddRow(p.Bandwidth/1e6, p.Observed, p.Ideal)
+	}
+	return t
+}
+
+// Fig6 reproduces the heterogeneous-bandwidth experiment: 5 categories
+// of 10 good clients with bandwidth 0.5·i Mbit/s, server capacity 10.
+func Fig6(o Opts) *Fig6Result {
+	o = o.withDefaults()
+	var groups []scenario.ClientGroup
+	var totalBW float64
+	for i := 1; i <= 5; i++ {
+		bw := 0.5e6 * float64(i)
+		totalBW += bw * 10
+		groups = append(groups, scenario.ClientGroup{
+			Name: categoryName(i), Count: 10, Good: true, Bandwidth: bw,
+		})
+	}
+	r := scenario.Run(scenario.Config{
+		Seed: o.Seed, Duration: o.Duration, Capacity: 10,
+		Mode: appsim.ModeAuction, Groups: groups,
+	})
+	var served uint64
+	for _, g := range r.Groups {
+		served += g.Served
+	}
+	res := &Fig6Result{}
+	for i, g := range r.Groups {
+		bw := 0.5e6 * float64(i+1)
+		obs := 0.0
+		if served > 0 {
+			obs = float64(g.Served) / float64(served)
+		}
+		res.Points = append(res.Points, Fig6Point{
+			Bandwidth: bw,
+			Observed:  obs,
+			Ideal:     bw * 10 / totalBW,
+		})
+	}
+	return res
+}
+
+func categoryName(i int) string {
+	return "cat-" + string(rune('0'+i))
+}
+
+// --- Figure 7: heterogeneous RTTs ---
+
+// Fig7Point is one RTT category.
+type Fig7Point struct {
+	RTT     time.Duration
+	AllGood float64 // fraction captured in the all-good experiment
+	AllBad  float64 // fraction captured in the all-bad experiment
+	Ideal   float64 // 0.2 (equal bandwidth)
+}
+
+// Fig7Result holds the Figure 7 series.
+type Fig7Result struct{ Points []Fig7Point }
+
+// Table renders Figure 7.
+func (r *Fig7Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 7: allocation across 5 RTT categories (c=10): good clients suffer with RTT, bad don't",
+		"RTT (ms)", "all-good expt", "all-bad expt", "ideal")
+	for _, p := range r.Points {
+		t.AddRow(p.RTT.Milliseconds(), p.AllGood, p.AllBad, p.Ideal)
+	}
+	return t
+}
+
+// Fig7 reproduces the RTT experiment: 5 categories of 10 clients with
+// client-thinner RTT = 100·i ms, all-good and all-bad runs, c=10.
+func Fig7(o Opts) *Fig7Result {
+	o = o.withDefaults()
+	run := func(good bool) *scenario.Result {
+		var groups []scenario.ClientGroup
+		for i := 1; i <= 5; i++ {
+			// One-way access delay of 50·i ms gives an RTT of ~100·i ms.
+			g := scenario.ClientGroup{
+				Name:      categoryName(i),
+				Count:     10,
+				Good:      good,
+				LinkDelay: time.Duration(i) * 50 * time.Millisecond,
+			}
+			if good {
+				// The paper's good clients in this experiment still use
+				// λ=2, w=1; demand must exceed c=10, and 50 clients at
+				// λ=2 offer 100 req/s.
+			}
+			groups = append(groups, g)
+		}
+		return scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: 10,
+			Mode: appsim.ModeAuction, Groups: groups,
+		})
+	}
+	allGood := run(true)
+	allBad := run(false)
+	res := &Fig7Result{}
+	totalG, totalB := allGood.ServedGood, allBad.ServedBad
+	for i := 0; i < 5; i++ {
+		p := Fig7Point{RTT: time.Duration(i+1) * 100 * time.Millisecond, Ideal: 0.2}
+		if totalG > 0 {
+			p.AllGood = float64(allGood.Groups[i].Served) / float64(totalG)
+		}
+		if totalB > 0 {
+			p.AllBad = float64(allBad.Groups[i].Served) / float64(totalB)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+// --- Figure 8: good and bad clients sharing a bottleneck ---
+
+// Fig8Point is one split of clients behind the bottleneck.
+type Fig8Point struct {
+	GoodBehind, BadBehind int
+	// Fractions of the "bottleneck service" (server share captured by
+	// all clients behind l) going to good/bad, vs the per-capita ideal.
+	GoodShare, BadShare           float64
+	GoodShareIdeal, BadShareIdeal float64
+	// Fraction of the bottlenecked good clients' requests served, vs
+	// the bandwidth-proportional ideal.
+	FracGoodServed, FracGoodServedIdeal float64
+}
+
+// Fig8Result holds the Figure 8 series.
+type Fig8Result struct{ Points []Fig8Point }
+
+// Table renders Figure 8.
+func (r *Fig8Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 8: good and bad clients behind a shared 40 Mbit/s bottleneck (c=50)",
+		"split (g/b)", "good share of bottleneck svc", "ideal", "bad share", "ideal ", "frac bn-good served", "ideal  ")
+	for _, p := range r.Points {
+		t.AddRow(
+			formatSplit(p.GoodBehind, p.BadBehind),
+			p.GoodShare, p.GoodShareIdeal,
+			p.BadShare, p.BadShareIdeal,
+			p.FracGoodServed, p.FracGoodServedIdeal,
+		)
+	}
+	return t
+}
+
+func formatSplit(g, b int) string {
+	return itoa(g) + "g/" + itoa(b) + "b"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Fig8 reproduces the shared-bottleneck experiment: 30 clients behind
+// a 40 Mbit/s link l (splits 5g/25b, 15g/15b, 25g/5b), plus 10 good
+// and 10 bad direct clients; c = 50.
+func Fig8(o Opts) *Fig8Result {
+	o = o.withDefaults()
+	res := &Fig8Result{}
+	for _, split := range [][2]int{{5, 25}, {15, 15}, {25, 5}} {
+		ng, nb := split[0], split[1]
+		r := scenario.Run(scenario.Config{
+			Seed: o.Seed, Duration: o.Duration, Capacity: 50,
+			Mode:        appsim.ModeAuction,
+			Bottlenecks: []scenario.Bottleneck{{Rate: 40e6, Delay: 250 * time.Microsecond}},
+			Groups: []scenario.ClientGroup{
+				{Name: "bn-good", Count: ng, Good: true, Bottleneck: 1},
+				{Name: "bn-bad", Count: nb, Good: false, Bottleneck: 1},
+				{Name: "direct-good", Count: 10, Good: true},
+				{Name: "direct-bad", Count: 10, Good: false},
+			},
+		})
+		bnGood, bnBad := &r.Groups[0], &r.Groups[1]
+		bnServed := bnGood.Served + bnBad.Served
+		p := Fig8Point{
+			GoodBehind: ng, BadBehind: nb,
+			GoodShareIdeal: float64(ng) / 30,
+			BadShareIdeal:  float64(nb) / 30,
+		}
+		if bnServed > 0 {
+			p.GoodShare = float64(bnGood.Served) / float64(bnServed)
+			p.BadShare = float64(bnBad.Served) / float64(bnServed)
+		}
+		p.FracGoodServed = bnGood.FractionServed()
+		// Ideal (paper footnote 2): the bottlenecked clients would each
+		// have 2·(40/60) Mbit/s; their server share would then be
+		// bandwidth-proportional, divided by their demand.
+		bnBW := 40e6 / 60e6 * 2e6 // per-client effective bandwidth
+		totalBW := float64(ng+nb)*bnBW + 20*2e6
+		serverShare := float64(ng) * bnBW / totalBW * 50 // req/s for bn-good
+		demand := float64(ng) * 2                        // λ=2 each
+		p.FracGoodServedIdeal = minF(1, serverShare/demand)
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Figure 9: impact on other traffic ---
+
+// Fig9Point is one transfer size.
+type Fig9Point struct {
+	SizeKB          int
+	WithSpeakup     float64 // mean download seconds
+	WithoutSpeakup  float64
+	WithStddev      float64
+	WithoutStddev   float64
+	InflationFactor float64
+}
+
+// Fig9Result holds the Figure 9 series.
+type Fig9Result struct{ Points []Fig9Point }
+
+// Table renders Figure 9.
+func (r *Fig9Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 9: bystander HTTP download latency over a shared 1 Mbit/s, 100 ms bottleneck",
+		"size (KB)", "with speak-up (s)", "sd", "without (s)", "sd ", "inflation")
+	for _, p := range r.Points {
+		t.AddRow(p.SizeKB, p.WithSpeakup, p.WithStddev, p.WithoutSpeakup, p.WithoutStddev, p.InflationFactor)
+	}
+	return t
+}
+
+// Fig9 reproduces the bystander experiment: 10 good speak-up clients
+// share a 1 Mbit/s, 100 ms one-way bottleneck with a web host H that
+// repeatedly downloads a file from a separate server S; c = 2.
+func Fig9(o Opts) *Fig9Result {
+	o = o.withDefaults()
+	res := &Fig9Result{}
+	for _, sizeKB := range []int{1, 4, 16, 64, 128} {
+		run := func(mode appsim.Mode) *scenario.Result {
+			return scenario.Run(scenario.Config{
+				Seed: o.Seed, Duration: o.Duration, Capacity: 2,
+				Mode:        mode,
+				Bottlenecks: []scenario.Bottleneck{{Rate: 1e6, Delay: 100 * time.Millisecond}},
+				Groups: []scenario.ClientGroup{
+					{Name: "bn-good", Count: 10, Good: true, Bottleneck: 1},
+				},
+				BystanderH: &scenario.Bystander{FileSize: sizeKB * 1000, MaxDownloads: 100},
+			})
+		}
+		with := run(appsim.ModeAuction)
+		without := run(appsim.ModeOff)
+		p := Fig9Point{
+			SizeKB:         sizeKB,
+			WithSpeakup:    with.BystanderLatencies.Mean(),
+			WithStddev:     with.BystanderLatencies.Stddev(),
+			WithoutSpeakup: without.BystanderLatencies.Mean(),
+			WithoutStddev:  without.BystanderLatencies.Stddev(),
+		}
+		if p.WithoutSpeakup > 0 {
+			p.InflationFactor = p.WithSpeakup / p.WithoutSpeakup
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}

@@ -1,0 +1,227 @@
+// Package loadgen reproduces the paper's client workloads (§7.1) over
+// real sockets against the internal/web front-end: Poisson arrivals, a
+// window of outstanding requests, an upload shaped by a token bucket
+// (the Emulab 2 Mbit/s access link), and the speak-up protocol —
+// re-issue the request and stream 1 MB payment POSTs when told to pay.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speakup/internal/core"
+)
+
+// Config tunes one load-generating client.
+type Config struct {
+	// BaseURL points at the thinner front-end, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Lambda is the Poisson request rate per second.
+	Lambda float64
+	// Window is the max outstanding requests.
+	Window int
+	// UploadBits shapes the client's total upload (bits/s). Default 2e6.
+	UploadBits float64
+	// PostBytes is the payment POST size. Default 1 MB.
+	PostBytes int
+	// Good labels the client in reports.
+	Good bool
+	// Seed seeds the arrival process.
+	Seed int64
+	// Client optionally overrides the HTTP client (tests inject
+	// in-process transports).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.UploadBits == 0 {
+		c.UploadBits = 2e6
+	}
+	if c.PostBytes == 0 {
+		c.PostBytes = 1 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Stats counts a client's outcomes. Fields are atomics: read with the
+// corresponding Load methods or via Snapshot.
+type Stats struct {
+	Issued    atomic.Uint64
+	Dropped   atomic.Uint64 // arrivals discarded because the window was full
+	Served    atomic.Uint64
+	Failed    atomic.Uint64
+	PaidBytes atomic.Int64
+}
+
+// Offered returns the demand the client presented: issued plus
+// window-overflow arrivals (the analog of the simulator's backlog
+// denials at small scale).
+func (s *Stats) Offered() uint64 { return s.Issued.Load() + s.Dropped.Load() }
+
+// Client is one workload generator over real HTTP.
+type Client struct {
+	cfg    Config
+	bucket *TokenBucket
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+	ids    *atomic.Uint64 // shared across clients for unique ids
+
+	Stats Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewClient creates a client; ids must be shared by all clients of one
+// run so request IDs are unique.
+func NewClient(cfg Config, ids *atomic.Uint64) *Client {
+	cfg = cfg.withDefaults()
+	if cfg.Lambda <= 0 || cfg.Window <= 0 {
+		panic("loadgen: Lambda and Window must be positive")
+	}
+	return &Client{
+		cfg:    cfg,
+		bucket: NewTokenBucket(cfg.UploadBits, 32<<10),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		ids:    ids,
+		stop:   make(chan struct{}),
+	}
+}
+
+// Run generates load until Stop is called.
+func (c *Client) Run() {
+	c.wg.Add(1)
+	go c.arrivals()
+}
+
+// Stop halts generation and waits for in-flight requests to wind down.
+func (c *Client) Stop() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+func (c *Client) arrivals() {
+	defer c.wg.Done()
+	sem := make(chan struct{}, c.cfg.Window)
+	for {
+		c.rngMu.Lock()
+		gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
+		c.rngMu.Unlock()
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(gap):
+		}
+		select {
+		case sem <- struct{}{}:
+			id := core.RequestID(c.ids.Add(1))
+			c.Stats.Issued.Add(1)
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				defer func() { <-sem }()
+				if c.doRequest(id) {
+					c.Stats.Served.Add(1)
+				} else {
+					c.Stats.Failed.Add(1)
+				}
+			}()
+		default:
+			// Window full: the paper's client would queue in a backlog;
+			// over real sockets we drop immediately (equivalent to an
+			// instant backlog timeout at small scale) and count it.
+			c.Stats.Dropped.Add(1)
+		}
+	}
+}
+
+func (c *Client) url(path string, id core.RequestID, extra string) string {
+	return fmt.Sprintf("%s%s?id=%d%s", c.cfg.BaseURL, path, uint64(id), extra)
+}
+
+// doRequest walks the speak-up protocol once; reports success.
+func (c *Client) doRequest(id core.RequestID) bool {
+	// Requests cost a little upload budget, too.
+	c.bucket.Take(200)
+	resp, err := c.cfg.Client.Get(c.url("/request", id, ""))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true
+	case http.StatusPaymentRequired:
+		return c.payAndWait(id)
+	default:
+		return false
+	}
+}
+
+// payAndWait re-issues the actual request and streams payment POSTs
+// until admitted (then collects the held response) or evicted.
+func (c *Client) payAndWait(id core.RequestID) bool {
+	done := make(chan bool, 1)
+	var stopped atomic.Bool
+	// The actual request (1), held by the thinner until served.
+	go func() {
+		c.bucket.Take(200)
+		resp, err := c.cfg.Client.Get(c.url("/request", id, "&wait=1"))
+		if err != nil {
+			done <- false
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode == http.StatusOK
+	}()
+	// The payment channel (2): POSTs until admitted/evicted.
+	go func() {
+		for !stopped.Load() {
+			body := &shapedReader{
+				bucket:  c.bucket,
+				left:    c.cfg.PostBytes,
+				chunk:   16 << 10,
+				stopped: stopped.Load,
+			}
+			resp, err := c.cfg.Client.Post(c.url("/pay", id, ""), "application/octet-stream", io.NopCloser(body))
+			if err != nil {
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			c.Stats.PaidBytes.Add(int64(c.cfg.PostBytes - body.left))
+			if stopped.Load() || !isContinue(raw) {
+				return
+			}
+		}
+	}()
+	select {
+	case ok := <-done:
+		stopped.Store(true)
+		return ok
+	case <-c.stop:
+		stopped.Store(true)
+		return false
+	}
+}
+
+// isContinue reports whether a /pay reply asks for another POST.
+func isContinue(raw []byte) bool {
+	// Cheap check to avoid a JSON decode on the hot path.
+	for i := 0; i+7 < len(raw); i++ {
+		if string(raw[i:i+8]) == "continue" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"speakup/internal/core"
+	"speakup/internal/web"
+)
+
+func TestTokenBucketRate(t *testing.T) {
+	// 8 Mbit/s = 1 MB/s; taking 200 KB beyond the 32 KB burst must
+	// take roughly (200-32)/1000 ≈ 0.17s.
+	b := NewTokenBucket(8e6, 32<<10)
+	start := time.Now()
+	total := 0
+	for total < 200<<10 {
+		b.Take(16 << 10)
+		total += 16 << 10
+	}
+	took := time.Since(start)
+	if took < 120*time.Millisecond || took > 400*time.Millisecond {
+		t.Fatalf("200KB at 1MB/s took %v, want ~0.17s", took)
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	b := NewTokenBucket(1e6, 64<<10)
+	start := time.Now()
+	b.Take(64 << 10) // within burst: immediate
+	if took := time.Since(start); took > 50*time.Millisecond {
+		t.Fatalf("burst take took %v", took)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	NewTokenBucket(0, 0)
+}
+
+// Property: total time to take N bytes at rate R is at least
+// (N-burst)/R — the shaper never exceeds the configured rate.
+func TestQuickBucketNeverExceedsRate(t *testing.T) {
+	f := func(chunks []uint16) bool {
+		if len(chunks) == 0 || len(chunks) > 20 {
+			return true
+		}
+		var virtual time.Duration
+		b := NewTokenBucket(80e6, 16<<10) // 10 MB/s
+		b.now = func() time.Time { return time.Unix(0, int64(virtual)) }
+		b.sleep = func(d time.Duration) {
+			if d <= 0 {
+				d = time.Nanosecond // virtual clock must always advance
+			}
+			virtual += d
+		}
+		b.lastFill = b.now()
+		total := 0
+		for _, c := range chunks {
+			n := int(c)%8192 + 1
+			b.Take(n)
+			total += n
+		}
+		minTime := float64(total-16<<10) / 10e6 // seconds
+		if minTime < 0 {
+			return true
+		}
+		return virtual.Seconds() >= minTime-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapedReaderYieldsExactly(t *testing.T) {
+	b := NewTokenBucket(800e6, 1<<20)
+	r := &shapedReader{bucket: b, left: 100_000, chunk: 16 << 10}
+	n, err := io.Copy(io.Discard, readerOnly{r})
+	if err != nil || n != 100_000 {
+		t.Fatalf("copied %d (%v), want 100000", n, err)
+	}
+}
+
+func TestShapedReaderStops(t *testing.T) {
+	b := NewTokenBucket(800e6, 1<<20)
+	stop := false
+	r := &shapedReader{bucket: b, left: 1 << 20, chunk: 4096, stopped: func() bool { return stop }}
+	buf := make([]byte, 4096)
+	r.Read(buf)
+	stop = true
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("expected EOF after stop, got %v", err)
+	}
+}
+
+type readerOnly struct{ r io.Reader }
+
+func (r readerOnly) Read(p []byte) (int, error) { return r.r.Read(p) }
+
+// TestEndToEndGoodVsBad runs a miniature live attack over loopback
+// HTTP: one good and one bad client against an overloaded origin. The
+// good client, with equal bandwidth, must get a decent share.
+func TestEndToEndGoodVsBad(t *testing.T) {
+	origin := web.NewEmulatedOrigin(10)
+	front := web.NewFront(origin, web.Config{
+		PayPollInterval: 10 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout: 2 * time.Second,
+			SweepInterval: 200 * time.Millisecond,
+		},
+	})
+	srv := httptest.NewServer(front)
+	defer srv.Close()
+	defer front.Close()
+
+	// The good client gets 4x the attacker's bandwidth so the expected
+	// share (~0.8) leaves a wide margin: this is a real-time test on a
+	// shared box and single runs are noisy. Exact proportionality is
+	// verified deterministically in internal/scenario.
+	var ids atomic.Uint64
+	good := NewClient(Config{
+		BaseURL: srv.URL, Lambda: 4, Window: 2, Good: true,
+		UploadBits: 32e6, PostBytes: 64 << 10, Seed: 1,
+	}, &ids)
+	bad := NewClient(Config{
+		BaseURL: srv.URL, Lambda: 40, Window: 10, Good: false,
+		UploadBits: 8e6, PostBytes: 64 << 10, Seed: 2,
+	}, &ids)
+	good.Run()
+	bad.Run()
+	time.Sleep(4 * time.Second)
+	good.Stop()
+	bad.Stop()
+
+	g, b := good.Stats.Served.Load(), bad.Stats.Served.Load()
+	t.Logf("good served=%d/%d bad served=%d/%d goodPaid=%dB badPaid=%dB",
+		g, good.Stats.Offered(), b, bad.Stats.Offered(),
+		good.Stats.PaidBytes.Load(), bad.Stats.PaidBytes.Load())
+	// This is a wall-clock test on a shared box, so it asserts only
+	// liveness: the protocol completes end-to-end for both classes,
+	// the attacker cannot shut the good client out entirely, and both
+	// paid real bytes. The allocation-proportionality claims are
+	// asserted in the deterministic simulator (internal/scenario) and
+	// the auction ordering in internal/web's tests.
+	if g == 0 {
+		t.Fatal("good client starved under speak-up")
+	}
+	if b == 0 {
+		t.Fatal("bad client served nothing; overload scenario broken")
+	}
+	if g+b < 10 {
+		t.Fatalf("only %d requests served in 4s at c=10", g+b)
+	}
+	if good.Stats.PaidBytes.Load() == 0 || bad.Stats.PaidBytes.Load() == 0 {
+		t.Fatal("payment channels never carried bytes")
+	}
+}

@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// TokenBucket shapes a client's upload to an access-link rate, standing
+// in for the paper's Emulab-shaped 2 Mbit/s links. It is safe for
+// concurrent use: a bad client's parallel payment channels share one
+// bucket, exactly like flows sharing one physical uplink.
+type TokenBucket struct {
+	mu       sync.Mutex
+	rate     float64 // bytes per second
+	burst    float64 // bucket depth in bytes
+	tokens   float64
+	lastFill time.Time
+	now      func() time.Time // injectable for tests
+	sleep    func(time.Duration)
+}
+
+// NewTokenBucket creates a bucket for rate bits/s with the given burst
+// (bytes). Burst defaults to 32 KB when zero.
+func NewTokenBucket(rateBits float64, burstBytes int) *TokenBucket {
+	if rateBits <= 0 {
+		panic("loadgen: rate must be positive")
+	}
+	if burstBytes <= 0 {
+		burstBytes = 32 << 10
+	}
+	return &TokenBucket{
+		rate:     rateBits / 8,
+		burst:    float64(burstBytes),
+		tokens:   float64(burstBytes),
+		lastFill: time.Now(),
+		now:      time.Now,
+		sleep:    time.Sleep,
+	}
+}
+
+func (b *TokenBucket) refillLocked() {
+	now := b.now()
+	if elapsed := now.Sub(b.lastFill); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.lastFill = now
+}
+
+// Take blocks until n bytes of budget are available and consumes them.
+func (b *TokenBucket) Take(n int) {
+	for {
+		b.mu.Lock()
+		b.refillLocked()
+		if b.tokens >= float64(n) {
+			b.tokens -= float64(n)
+			b.mu.Unlock()
+			return
+		}
+		need := (float64(n) - b.tokens) / b.rate
+		b.mu.Unlock()
+		d := time.Duration(need * float64(time.Second))
+		// Floor the wait: when concurrent takers race for the refill,
+		// a near-zero deficit would otherwise degenerate into a
+		// sub-microsecond-sleep busy loop that starves the whole
+		// process (observed on single-CPU boxes).
+		if d < 200*time.Microsecond {
+			d = 200 * time.Microsecond
+		}
+		b.sleep(d)
+	}
+}
+
+// shapedReader yields up to total bytes of dummy payload, pacing each
+// chunk through the bucket. It implements io.Reader for POST bodies.
+type shapedReader struct {
+	bucket  *TokenBucket
+	left    int
+	chunk   int
+	stopped func() bool // polled between chunks; true aborts the body
+}
+
+func (r *shapedReader) Read(p []byte) (int, error) {
+	if r.left <= 0 || (r.stopped != nil && r.stopped()) {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > r.chunk {
+		n = r.chunk
+	}
+	if n > r.left {
+		n = r.left
+	}
+	r.bucket.Take(n)
+	for i := 0; i < n; i++ {
+		p[i] = 'x'
+	}
+	r.left -= n
+	return n, nil
+}

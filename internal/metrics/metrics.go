@@ -1,0 +1,182 @@
+// Package metrics provides the measurement utilities shared by the
+// simulation scenarios, the real-socket load generator, and the
+// benchmark harness: streaming samples with exact percentiles, rate
+// counters over time windows, and fixed-width table rendering matching
+// the rows the paper reports.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates float64 observations and answers summary queries.
+// The zero value is ready to use. Percentiles are exact (the sample set
+// is retained); experiments here are small enough that this is cheap.
+type Sample struct {
+	xs     []float64
+	sum    float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sum += x
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted sample, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	// The 1e-9 slack keeps ranks stable when p was itself computed as
+	// 100*k/n and floating-point rounding nudged it just above k.
+	rank := int(math.Ceil(p/100*float64(n) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s.xs[rank-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Counter is a monotonically increasing event/byte counter.
+type Counter struct{ v float64 }
+
+// Add increases the counter by x (negative x panics: counters only go up).
+func (c *Counter) Add(x float64) {
+	if x < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.v += x
+}
+
+// Inc increases the counter by 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v }
+
+// Rate returns the counter value divided by the elapsed duration in
+// seconds (0 if elapsed <= 0).
+func (c *Counter) Rate(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return c.v / elapsed.Seconds()
+}
+
+// Series records (time, value) points, e.g. per-interval throughput.
+type Series struct {
+	T []time.Duration
+	V []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.V) }
+
+// MeanAfter returns the mean of values at times >= t0, skipping a
+// warm-up prefix (0 for an empty selection).
+func (s *Series) MeanAfter(t0 time.Duration) float64 {
+	var sum float64
+	var n int
+	for i, t := range s.T {
+		if t >= t0 {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BitsPerSecond converts a byte count over a duration to bits/s.
+func BitsPerSecond(bytes float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return bytes * 8 / d.Seconds()
+}
+
+// Mbps converts a byte count over a duration to Mbits/s.
+func Mbps(bytes float64, d time.Duration) float64 {
+	return BitsPerSecond(bytes, d) / 1e6
+}

@@ -1,0 +1,257 @@
+// Package netsim simulates a packet-switched network on top of the
+// discrete-event engine in internal/sim.
+//
+// The model is deliberately simple and physical: hosts and switches are
+// nodes; a Link is a unidirectional pipe with a fixed rate (bits/s), a
+// fixed propagation delay, and a drop-tail queue bounded in bytes.
+// Packets serialize onto a link one at a time (store-and-forward) and
+// arrive at the far node after the propagation delay. Nodes forward
+// packets hop-by-hop along shortest-path routes computed once from the
+// topology. This is the substitution for the paper's Emulab testbed:
+// rates, delays, queueing, and loss — the quantities speak-up's
+// evaluation depends on — are modeled per-packet.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"speakup/internal/sim"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Packet is one datagram in flight. Size is the total on-the-wire size
+// in bytes. Payload carries the upper-layer segment (e.g. a TCP
+// segment); netsim never inspects it.
+type Packet struct {
+	Size     int
+	Src, Dst NodeID
+	Payload  any
+}
+
+// Handler receives packets addressed to a node.
+type Handler func(pkt *Packet)
+
+type node struct {
+	id      NodeID
+	name    string
+	handler Handler
+	// routes[dst] is the outgoing link for packets to dst; built by
+	// ComputeRoutes.
+	routes []*Link
+	links  []*Link // outgoing links (for route computation)
+}
+
+// LinkStats counts traffic through one unidirectional link.
+type LinkStats struct {
+	PktsSent     uint64
+	BytesSent    uint64
+	PktsDropped  uint64
+	BytesDropped uint64
+}
+
+// Link is a unidirectional pipe between two nodes.
+type Link struct {
+	net   *Network
+	name  string
+	from  NodeID
+	to    NodeID
+	rate  float64 // bits per second
+	delay time.Duration
+	qcap  int // max queued bytes behind the packet in service; <=0 means unbounded
+
+	queued int // bytes waiting (excludes packet in service)
+	q      []*Packet
+	busy   bool
+
+	Stats LinkStats
+}
+
+// Name returns the link's human-readable name.
+func (l *Link) Name() string { return l.name }
+
+// QueuedBytes returns the bytes currently waiting in the queue.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+// Rate returns the link rate in bits per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// Network is a set of nodes and links sharing one event loop.
+type Network struct {
+	loop  *sim.Loop
+	nodes []*node
+	links []*Link
+
+	// Trace, when non-nil, observes packet events: "send" (enqueued on
+	// a link), "drop" (drop-tail), "recv" (delivered to final handler).
+	Trace func(event string, l *Link, pkt *Packet)
+}
+
+// New creates an empty network on the given loop.
+func New(loop *sim.Loop) *Network {
+	return &Network{loop: loop}
+}
+
+// Loop returns the underlying event loop.
+func (n *Network) Loop() *sim.Loop { return n.loop }
+
+// AddNode creates a node. The handler receives packets whose Dst is
+// this node; it may be nil for pure switches.
+func (n *Network) AddNode(name string, h Handler) NodeID {
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, &node{id: id, name: name, handler: h})
+	return id
+}
+
+// SetHandler replaces a node's packet handler. It allows hosts to be
+// created before the protocol endpoints that live on them.
+func (n *Network) SetHandler(id NodeID, h Handler) { n.nodes[id].handler = h }
+
+// NodeName returns the node's name.
+func (n *Network) NodeName(id NodeID) string { return n.nodes[id].name }
+
+// AddLink creates a unidirectional link from -> to with the given rate
+// (bits/s), propagation delay, and queue capacity in bytes (<=0 means
+// unbounded). Most callers want Connect, which builds both directions.
+func (n *Network) AddLink(from, to NodeID, rate float64, delay time.Duration, queueBytes int) *Link {
+	if rate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	l := &Link{
+		net:   n,
+		name:  fmt.Sprintf("%s->%s", n.nodes[from].name, n.nodes[to].name),
+		from:  from,
+		to:    to,
+		rate:  rate,
+		delay: delay,
+		qcap:  queueBytes,
+	}
+	n.links = append(n.links, l)
+	n.nodes[from].links = append(n.nodes[from].links, l)
+	return l
+}
+
+// Connect builds a duplex link (two unidirectional links with the same
+// parameters) and returns them as (a->b, b->a).
+func (n *Network) Connect(a, b NodeID, rate float64, delay time.Duration, queueBytes int) (*Link, *Link) {
+	return n.AddLink(a, b, rate, delay, queueBytes),
+		n.AddLink(b, a, rate, delay, queueBytes)
+}
+
+// ComputeRoutes builds shortest-path (hop count) routes between all
+// node pairs via BFS. Call it once after the topology is assembled;
+// sending a packet with no route panics, since that is a model bug.
+func (n *Network) ComputeRoutes() {
+	for _, src := range n.nodes {
+		src.routes = make([]*Link, len(n.nodes))
+		// BFS from src over outgoing links.
+		visited := make([]bool, len(n.nodes))
+		visited[src.id] = true
+		type hop struct {
+			node  NodeID
+			first *Link // first link on the path from src
+		}
+		queue := make([]hop, 0, len(n.nodes))
+		for _, l := range src.links {
+			if !visited[l.to] {
+				visited[l.to] = true
+				src.routes[l.to] = l
+				queue = append(queue, hop{l.to, l})
+			}
+		}
+		for len(queue) > 0 {
+			h := queue[0]
+			queue = queue[1:]
+			for _, l := range n.nodes[h.node].links {
+				if !visited[l.to] {
+					visited[l.to] = true
+					src.routes[l.to] = h.first
+					queue = append(queue, hop{l.to, h.first})
+				}
+			}
+		}
+	}
+}
+
+// Send injects a packet at its source node; it is routed hop-by-hop to
+// pkt.Dst and handed to that node's handler.
+func (n *Network) Send(pkt *Packet) {
+	if pkt.Size <= 0 {
+		panic("netsim: packet size must be positive")
+	}
+	n.forward(n.nodes[pkt.Src], pkt)
+}
+
+func (n *Network) forward(at *node, pkt *Packet) {
+	if at.id == pkt.Dst {
+		if n.Trace != nil {
+			n.Trace("recv", nil, pkt)
+		}
+		if at.handler != nil {
+			at.handler(pkt)
+		}
+		return
+	}
+	if at.routes == nil {
+		panic("netsim: ComputeRoutes not called")
+	}
+	l := at.routes[pkt.Dst]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: no route from %s to %s", at.name, n.nodes[pkt.Dst].name))
+	}
+	l.enqueue(pkt)
+}
+
+func (l *Link) enqueue(pkt *Packet) {
+	if l.busy {
+		if l.qcap > 0 && l.queued+pkt.Size > l.qcap {
+			l.Stats.PktsDropped++
+			l.Stats.BytesDropped += uint64(pkt.Size)
+			if l.net.Trace != nil {
+				l.net.Trace("drop", l, pkt)
+			}
+			return
+		}
+		l.queued += pkt.Size
+		l.q = append(l.q, pkt)
+		return
+	}
+	l.transmit(pkt)
+}
+
+func (l *Link) transmit(pkt *Packet) {
+	l.busy = true
+	if l.net.Trace != nil {
+		l.net.Trace("send", l, pkt)
+	}
+	tx := time.Duration(float64(pkt.Size) * 8 / l.rate * float64(time.Second))
+	if tx < time.Nanosecond {
+		tx = time.Nanosecond
+	}
+	loop := l.net.loop
+	loop.After(tx, func() {
+		l.Stats.PktsSent++
+		l.Stats.BytesSent += uint64(pkt.Size)
+		// Propagation: the packet arrives at the far node delay later;
+		// meanwhile the link is free to serialize the next packet.
+		loop.After(l.delay, func() {
+			l.net.forward(l.net.nodes[l.to], pkt)
+		})
+		if len(l.q) > 0 {
+			next := l.q[0]
+			l.q = l.q[1:]
+			l.queued -= next.Size
+			l.transmit(next)
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+// Links returns all links, in creation order (useful for stats).
+func (n *Network) Links() []*Link { return n.links }

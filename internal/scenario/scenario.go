@@ -1,0 +1,441 @@
+// Package scenario assembles complete speak-up deployments inside the
+// simulator — clients, access links, optional shared bottlenecks, the
+// thinner, and the emulated server — runs them, and aggregates the
+// metrics the paper's evaluation reports (§7): server allocation,
+// fraction of good requests served, payment times, and prices.
+//
+// The standard topology mirrors the paper's Emulab setup: every client
+// sits behind its own access link into a LAN switch; the switch
+// connects to the thinner over a gigabit trunk (the paper's thinner
+// had gigabit interfaces, so the shaped access links are the only
+// bottlenecks). Client groups may instead sit behind a shared
+// bottleneck link (§7.6), and a bystander web transfer can share that
+// bottleneck (§7.7).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"speakup/internal/appsim"
+	"speakup/internal/clients"
+	"speakup/internal/core"
+	"speakup/internal/metrics"
+	"speakup/internal/netsim"
+	"speakup/internal/server"
+	"speakup/internal/sim"
+	"speakup/internal/simclock"
+	"speakup/internal/tcpsim"
+)
+
+// ClientGroup describes a set of identical clients.
+type ClientGroup struct {
+	// Name labels the group in results (defaults to good-N/bad-N).
+	Name string
+	// Count is the number of clients.
+	Count int
+	// Good selects the workload defaults: good clients use λ=2, w=1;
+	// bad clients use λ=40, w=20 (§7.1).
+	Good bool
+	// Bandwidth is the access-link rate in bits/s. Default 2 Mbit/s.
+	Bandwidth float64
+	// LinkDelay is the one-way access-link delay. Default 250µs (LAN).
+	LinkDelay time.Duration
+	// Lambda overrides the Poisson rate (0 = default by Good).
+	Lambda float64
+	// Window overrides the outstanding-request window (0 = default).
+	Window int
+	// Bottleneck places the group behind cfg.Bottlenecks[Bottleneck-1];
+	// 0 means directly on the LAN.
+	Bottleneck int
+	// PayConns opens parallel payment connections per request (§3.4
+	// gaming; default 1).
+	PayConns int
+	// Work fixes this group's per-request service time (0 = the
+	// server default U[0.9/c, 1.1/c]). Used for heterogeneous-request
+	// experiments (§5): attackers send intentionally hard requests.
+	Work time.Duration
+}
+
+func (g ClientGroup) withDefaults(idx int) ClientGroup {
+	if g.Bandwidth == 0 {
+		g.Bandwidth = 2e6
+	}
+	if g.LinkDelay == 0 {
+		g.LinkDelay = 250 * time.Microsecond
+	}
+	if g.Lambda == 0 {
+		if g.Good {
+			g.Lambda = 2
+		} else {
+			g.Lambda = 40
+		}
+	}
+	if g.Window == 0 {
+		if g.Good {
+			g.Window = 1
+		} else {
+			g.Window = 20
+		}
+	}
+	if g.Name == "" {
+		kind := "bad"
+		if g.Good {
+			kind = "good"
+		}
+		g.Name = fmt.Sprintf("%s-%d", kind, idx)
+	}
+	return g
+}
+
+// Bottleneck is a shared link between a set of clients and the LAN.
+type Bottleneck struct {
+	Rate       float64
+	Delay      time.Duration
+	QueueBytes int // default 50 full-size packets
+}
+
+// Bystander adds the Figure 9 web host H: it shares bottleneck 1 with
+// the clients there and repeatedly downloads FileSize bytes from a
+// separate web server on the LAN.
+type Bystander struct {
+	FileSize     int
+	MaxDownloads int // 0 = unlimited
+	Bandwidth    float64
+	LinkDelay    time.Duration
+}
+
+// Config describes one experiment run.
+type Config struct {
+	Seed     int64
+	Duration time.Duration
+	// Warmup discards request outcomes before this offset (default 0:
+	// measure everything, like the paper).
+	Warmup   time.Duration
+	Capacity float64 // server capacity c in requests/s
+	Mode     appsim.Mode
+	Groups   []ClientGroup
+
+	Bottlenecks []Bottleneck
+	BystanderH  *Bystander
+
+	// Trunk is the LAN between switch and thinner. Defaults: 1 Gbit/s
+	// (the paper's thinner had gigabit interfaces, so client access
+	// links are the only bottlenecks), 250µs, 256 packets of queue.
+	TrunkRate  float64
+	TrunkDelay time.Duration
+	TrunkQueue int
+	// AccessQueue is each access link's queue in bytes (default 50
+	// packets).
+	AccessQueue int
+
+	Sizes appsim.Sizes
+	// Thinner tunes the auction policy; Hetero, RandomDrop, and
+	// Profiler tune their modes.
+	Thinner    core.Config
+	Hetero     core.HeteroConfig
+	RandomDrop core.RandomDropConfig
+	Profiler   core.ProfilerConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.TrunkRate == 0 {
+		c.TrunkRate = 1e9
+	}
+	if c.TrunkDelay == 0 {
+		c.TrunkDelay = 250 * time.Microsecond
+	}
+	if c.TrunkQueue == 0 {
+		c.TrunkQueue = 256 * 1500
+	}
+	if c.AccessQueue == 0 {
+		c.AccessQueue = 100 * 1500
+	}
+	for i := range c.Groups {
+		c.Groups[i] = c.Groups[i].withDefaults(i)
+	}
+	for i := range c.Bottlenecks {
+		if c.Bottlenecks[i].QueueBytes == 0 {
+			c.Bottlenecks[i].QueueBytes = 50 * 1500
+		}
+	}
+	return c
+}
+
+// GroupResult aggregates one group's outcomes.
+type GroupResult struct {
+	Name      string
+	Good      bool
+	Clients   int
+	Generated uint64
+	Issued    uint64
+	Served    uint64
+	Failed    uint64
+	Denied    uint64
+
+	Latencies metrics.Sample // served requests, seconds
+	PayTimes  metrics.Sample // served requests that paid, seconds
+	Prices    metrics.Sample // thinner-side winning bids, bytes
+	PaidBytes int64          // client-side payment bytes pushed
+	// ServedWork is the total server time this group consumed —
+	// completed requests plus partial service burned before aborts
+	// (the resource that matters under §5 attacks).
+	ServedWork time.Duration
+}
+
+// Offered returns issued + denied: the demand actually presented.
+func (g *GroupResult) Offered() uint64 { return g.Issued + g.Denied }
+
+// FractionServed returns Served/Offered (0 when no demand).
+func (g *GroupResult) FractionServed() float64 {
+	if g.Offered() == 0 {
+		return 0
+	}
+	return float64(g.Served) / float64(g.Offered())
+}
+
+// Result is a completed run.
+type Result struct {
+	Config   Config
+	Groups   []GroupResult
+	Duration time.Duration
+
+	ServedGood, ServedBad uint64
+	// GoodAllocation is the fraction of processed requests that were
+	// good — the paper's "fraction of server allocated to good
+	// clients".
+	GoodAllocation float64
+	// FractionGoodServed is the paper's "fraction of good requests
+	// served" (served / offered).
+	FractionGoodServed float64
+
+	ThinnerStats core.Stats
+	ServerStats  server.Stats
+
+	// BystanderLatencies holds Figure 9 download times (seconds).
+	BystanderLatencies *metrics.Sample
+
+	Events uint64 // simulator events processed (for reporting)
+}
+
+// Run builds the deployment, simulates it for cfg.Duration, and
+// returns aggregated results.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	loop := sim.NewLoop(cfg.Seed)
+	n := netsim.New(loop)
+	clock := simclock.New(loop)
+
+	// --- topology ---
+	sw := n.AddNode("switch", nil)
+	tn := n.AddNode("thinner", nil)
+	n.Connect(sw, tn, cfg.TrunkRate, cfg.TrunkDelay, cfg.TrunkQueue)
+
+	inner := make([]netsim.NodeID, len(cfg.Bottlenecks))
+	for i, b := range cfg.Bottlenecks {
+		inner[i] = n.AddNode(fmt.Sprintf("bottleneck-%d", i+1), nil)
+		n.Connect(inner[i], sw, b.Rate, b.Delay, b.QueueBytes)
+	}
+
+	type clientSlot struct {
+		group int
+		node  netsim.NodeID
+	}
+	var slots []clientSlot
+	for gi, g := range cfg.Groups {
+		for i := 0; i < g.Count; i++ {
+			cn := n.AddNode(fmt.Sprintf("%s-c%d", g.Name, i), nil)
+			attach := sw
+			if g.Bottleneck > 0 {
+				attach = inner[g.Bottleneck-1]
+			}
+			n.Connect(cn, attach, g.Bandwidth, g.LinkDelay, cfg.AccessQueue)
+			slots = append(slots, clientSlot{group: gi, node: cn})
+		}
+	}
+
+	var webNode, bystanderNode netsim.NodeID
+	if cfg.BystanderH != nil {
+		if len(cfg.Bottlenecks) == 0 {
+			panic("scenario: BystanderH requires a bottleneck")
+		}
+		b := cfg.BystanderH
+		if b.Bandwidth == 0 {
+			b.Bandwidth = 2e6
+		}
+		if b.LinkDelay == 0 {
+			b.LinkDelay = 250 * time.Microsecond
+		}
+		webNode = n.AddNode("webserver", nil)
+		n.Connect(webNode, sw, 100e6, 250*time.Microsecond, cfg.TrunkQueue)
+		bystanderNode = n.AddNode("bystander", nil)
+		n.Connect(bystanderNode, inner[0], b.Bandwidth, b.LinkDelay, cfg.AccessQueue)
+	}
+	n.ComputeRoutes()
+
+	// --- thinner + server ---
+	owner := make(map[core.RequestID]int) // id -> group index
+	srvCfg := server.Config{Capacity: cfg.Capacity, Seed: cfg.Seed + 9999}
+	groupHasWork := false
+	for _, g := range cfg.Groups {
+		if g.Work > 0 {
+			groupHasWork = true
+		}
+	}
+	if groupHasWork {
+		fallback := time.Duration(float64(time.Second) / cfg.Capacity)
+		srvCfg.Work = func(id core.RequestID) time.Duration {
+			if gi, ok := owner[id]; ok && cfg.Groups[gi].Work > 0 {
+				return cfg.Groups[gi].Work
+			}
+			return fallback
+		}
+	}
+	srv := server.New(clock, srvCfg)
+	tstack := tcpsim.NewStack(n, tn, tcpsim.Options{})
+	rdCfg := cfg.RandomDrop
+	if rdCfg.Capacity == 0 {
+		rdCfg.Capacity = cfg.Capacity
+	}
+	thApp := appsim.NewThinnerApp(tstack, clock, srv, appsim.ThinnerConfig{
+		Mode:       cfg.Mode,
+		Sizes:      cfg.Sizes,
+		Thinner:    cfg.Thinner,
+		RandomDrop: rdCfg,
+		Hetero:     cfg.Hetero,
+		Profiler:   cfg.Profiler,
+	})
+
+	// --- clients ---
+	res := &Result{Config: cfg, Duration: cfg.Duration}
+	res.Groups = make([]GroupResult, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		res.Groups[gi] = GroupResult{Name: g.Name, Good: g.Good, Clients: g.Count}
+	}
+
+	var nextID uint64
+	genFor := func(group int) func() core.RequestID {
+		return func() core.RequestID {
+			nextID++
+			id := core.RequestID(nextID)
+			owner[id] = group
+			return id
+		}
+	}
+
+	thApp.OnAdmit = func(id core.RequestID, paid int64) {
+		if loop.Now() < cfg.Warmup {
+			return
+		}
+		if gi, ok := owner[id]; ok {
+			res.Groups[gi].Prices.Add(float64(paid))
+		}
+	}
+	srv.Observer = func(id core.RequestID, work time.Duration) {
+		if loop.Now() < cfg.Warmup {
+			return
+		}
+		if gi, ok := owner[id]; ok {
+			res.Groups[gi].ServedWork += work
+		}
+	}
+
+	var workloads []*clients.Client
+	for si, slot := range slots {
+		g := cfg.Groups[slot.group]
+		stack := tcpsim.NewStack(n, slot.node, tcpsim.Options{})
+		wl := clients.New(clock, clients.Config{
+			Lambda: g.Lambda,
+			Window: g.Window,
+			Good:   g.Good,
+			Seed:   cfg.Seed*1_000_003 + int64(si),
+		}, genFor(slot.group))
+		app := appsim.NewClientApp(stack, wl, tn, cfg.Sizes, appsim.ClientAppConfig{
+			PayConns: g.PayConns,
+		})
+		gi := slot.group
+		app.OnOutcome = func(o appsim.RequestOutcome) {
+			if loop.Now() < cfg.Warmup {
+				delete(owner, o.ID)
+				return
+			}
+			gr := &res.Groups[gi]
+			if o.Served {
+				gr.Served++
+				gr.Latencies.AddDuration(o.Latency)
+				if o.PayTime > 0 {
+					gr.PayTimes.AddDuration(o.PayTime)
+				}
+			} else {
+				gr.Failed++
+			}
+			gr.PaidBytes += o.PaidBytes
+			delete(owner, o.ID)
+		}
+		workloads = append(workloads, wl)
+	}
+
+	// --- bystander ---
+	var bystander *appsim.BystanderApp
+	if cfg.BystanderH != nil {
+		NewWebServer := appsim.NewWebServerApp
+		wstack := tcpsim.NewStack(n, webNode, tcpsim.Options{})
+		NewWebServer(wstack)
+		bstack := tcpsim.NewStack(n, bystanderNode, tcpsim.Options{})
+		bystander = appsim.NewBystanderApp(bstack, webNode, cfg.BystanderH.FileSize)
+		bystander.MaxDownloads = cfg.BystanderH.MaxDownloads
+		bystander.Start()
+	}
+
+	// --- run ---
+	for _, wl := range workloads {
+		wl.Start()
+	}
+	loop.Run(cfg.Duration)
+
+	// --- aggregate ---
+	for i, wl := range workloads {
+		gi := slots[i].group
+		st := wl.Stats()
+		gr := &res.Groups[gi]
+		gr.Generated += st.Generated
+		gr.Issued += st.Issued
+		gr.Denied += st.Denied
+	}
+	var offeredGood uint64
+	for _, gr := range res.Groups {
+		if gr.Good {
+			res.ServedGood += gr.Served
+			offeredGood += gr.Offered()
+		} else {
+			res.ServedBad += gr.Served
+		}
+	}
+	if total := res.ServedGood + res.ServedBad; total > 0 {
+		res.GoodAllocation = float64(res.ServedGood) / float64(total)
+	}
+	if offeredGood > 0 {
+		res.FractionGoodServed = float64(res.ServedGood) / float64(offeredGood)
+	}
+	switch cfg.Mode {
+	case appsim.ModeAuction:
+		res.ThinnerStats = thApp.Auction().Stats()
+	case appsim.ModeOff:
+		res.ThinnerStats = thApp.Off().Stats()
+	case appsim.ModeHetero:
+		res.ThinnerStats = thApp.Hetero().Stats()
+	case appsim.ModeRandomDrop:
+		res.ThinnerStats = thApp.RandomDrop().Stats()
+	case appsim.ModeProfiling:
+		res.ThinnerStats = thApp.Profiler().Stats()
+	}
+	res.ServerStats = srv.Stats()
+	if bystander != nil {
+		res.BystanderLatencies = &bystander.Latencies
+	}
+	res.Events = loop.Processed()
+	return res
+}

@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"speakup/internal/appsim"
+)
+
+// mix builds the standard 2 Mbit/s-per-client mix with ng good and nb
+// bad clients.
+func mix(ng, nb int) []ClientGroup {
+	return []ClientGroup{
+		{Count: ng, Good: true},
+		{Count: nb, Good: false},
+	}
+}
+
+func TestSpeakupProportionalAllocation(t *testing.T) {
+	// 5 good + 5 bad, equal bandwidth, overloaded server: speak-up
+	// should split the server roughly evenly (G/(G+B) = 0.5).
+	res := Run(Config{
+		Seed: 1, Duration: 60 * time.Second, Capacity: 20,
+		Mode: appsim.ModeAuction, Groups: mix(5, 5),
+	})
+	if res.GoodAllocation < 0.35 || res.GoodAllocation > 0.65 {
+		t.Fatalf("good allocation = %.3f, want ~0.5", res.GoodAllocation)
+	}
+	// The server must be kept busy (overload).
+	total := res.ServedGood + res.ServedBad
+	if total < uint64(0.8*20*60) {
+		t.Fatalf("only %d requests served; server idling", total)
+	}
+}
+
+func TestOffModeBadClientsDominate(t *testing.T) {
+	res := Run(Config{
+		Seed: 1, Duration: 60 * time.Second, Capacity: 20,
+		Mode: appsim.ModeOff, Groups: mix(5, 5),
+	})
+	// Bad clients issue ~20x more requests; random service should give
+	// the good clients a small share.
+	if res.GoodAllocation > 0.25 {
+		t.Fatalf("good allocation without speak-up = %.3f, want << 0.5", res.GoodAllocation)
+	}
+}
+
+func TestSpeakupBeatsOff(t *testing.T) {
+	on := Run(Config{Seed: 2, Duration: 45 * time.Second, Capacity: 20,
+		Mode: appsim.ModeAuction, Groups: mix(5, 5)})
+	off := Run(Config{Seed: 2, Duration: 45 * time.Second, Capacity: 20,
+		Mode: appsim.ModeOff, Groups: mix(5, 5)})
+	if on.GoodAllocation <= off.GoodAllocation {
+		t.Fatalf("speak-up (%.3f) must beat OFF (%.3f)", on.GoodAllocation, off.GoodAllocation)
+	}
+	if on.GoodAllocation < 2*off.GoodAllocation {
+		t.Fatalf("speak-up gain too small: %.3f vs %.3f", on.GoodAllocation, off.GoodAllocation)
+	}
+}
+
+func TestAdequateCapacityServesAllGood(t *testing.T) {
+	// c well above c_id = g(1+B/G): 5 good clients offer ~10 req/s,
+	// B=G so c_id=20; c=40 leaves slack for the adversarial advantage.
+	res := Run(Config{
+		Seed: 3, Duration: 60 * time.Second, Capacity: 40,
+		Mode: appsim.ModeAuction, Groups: mix(5, 5),
+	})
+	if res.FractionGoodServed < 0.9 {
+		t.Fatalf("fraction good served = %.3f at c=2*c_id, want ~1", res.FractionGoodServed)
+	}
+}
+
+func TestUnderprovisionedProportionalShare(t *testing.T) {
+	// c = c_id/2: good clients should get roughly half their demand.
+	res := Run(Config{
+		Seed: 4, Duration: 60 * time.Second, Capacity: 10,
+		Mode: appsim.ModeAuction, Groups: mix(5, 5),
+	})
+	if res.FractionGoodServed < 0.25 || res.FractionGoodServed > 0.75 {
+		t.Fatalf("fraction good served = %.3f at c=c_id/2, want ~0.5", res.FractionGoodServed)
+	}
+}
+
+func TestBandwidthProportionalAcrossGroups(t *testing.T) {
+	// Two all-good groups, one with 3x the bandwidth of the other,
+	// both saturating: allocation should track bandwidth share.
+	res := Run(Config{
+		Seed: 5, Duration: 60 * time.Second, Capacity: 5,
+		Mode: appsim.ModeAuction,
+		Groups: []ClientGroup{
+			{Name: "slow", Count: 3, Good: true, Bandwidth: 0.5e6, Lambda: 10, Window: 4},
+			{Name: "fast", Count: 3, Good: true, Bandwidth: 1.5e6, Lambda: 10, Window: 4},
+		},
+	})
+	slow, fast := res.Groups[0].Served, res.Groups[1].Served
+	if slow == 0 || fast == 0 {
+		t.Fatalf("starvation: slow=%d fast=%d", slow, fast)
+	}
+	ratio := float64(fast) / float64(slow)
+	if ratio < 1.8 || ratio > 4.5 {
+		t.Fatalf("fast/slow service ratio = %.2f, want ~3 (bandwidth-proportional)", ratio)
+	}
+}
+
+func TestSharedBottleneckCrowdsOutGood(t *testing.T) {
+	// Good and bad behind a 4 Mbit/s bottleneck plus direct clients:
+	// the bottlenecked good clients suffer; server keeps serving.
+	res := Run(Config{
+		Seed: 6, Duration: 45 * time.Second, Capacity: 20,
+		Mode:        appsim.ModeAuction,
+		Bottlenecks: []Bottleneck{{Rate: 4e6, Delay: time.Millisecond}},
+		Groups: []ClientGroup{
+			{Name: "bn-good", Count: 2, Good: true, Bottleneck: 1},
+			{Name: "bn-bad", Count: 2, Good: false, Bottleneck: 1},
+			{Name: "direct-good", Count: 2, Good: true},
+			{Name: "direct-bad", Count: 2, Good: false},
+		},
+	})
+	bnGood := &res.Groups[0]
+	directGood := &res.Groups[2]
+	if directGood.FractionServed() == 0 {
+		t.Fatal("direct good clients starved entirely")
+	}
+	// Bottlenecked good clients do worse than direct ones.
+	if bnGood.FractionServed() > directGood.FractionServed() {
+		t.Fatalf("bottlenecked good (%.3f) outperformed direct good (%.3f)",
+			bnGood.FractionServed(), directGood.FractionServed())
+	}
+}
+
+func TestBystanderLatencyInflation(t *testing.T) {
+	// Fig 9 shape at small scale: downloads through a bottleneck shared
+	// with speak-up uploads take several times longer than alone.
+	base := Run(Config{
+		Seed: 7, Duration: 60 * time.Second, Capacity: 2,
+		Mode:        appsim.ModeAuction,
+		Bottlenecks: []Bottleneck{{Rate: 1e6, Delay: 100 * time.Millisecond}},
+		Groups: []ClientGroup{
+			// No clients behind the bottleneck: bystander rides alone.
+			{Name: "direct-good", Count: 2, Good: true},
+		},
+		BystanderH: &Bystander{FileSize: 16_000},
+	})
+	loaded := Run(Config{
+		Seed: 7, Duration: 60 * time.Second, Capacity: 2,
+		Mode:        appsim.ModeAuction,
+		Bottlenecks: []Bottleneck{{Rate: 1e6, Delay: 100 * time.Millisecond}},
+		Groups: []ClientGroup{
+			{Name: "bn-good", Count: 4, Good: true, Bottleneck: 1},
+			{Name: "direct-good", Count: 2, Good: true},
+		},
+		BystanderH: &Bystander{FileSize: 16_000},
+	})
+	if base.BystanderLatencies.N() == 0 || loaded.BystanderLatencies.N() == 0 {
+		t.Fatalf("bystander completed no downloads: base=%d loaded=%d",
+			base.BystanderLatencies.N(), loaded.BystanderLatencies.N())
+	}
+	b, l := base.BystanderLatencies.Mean(), loaded.BystanderLatencies.Mean()
+	if l < 1.5*b {
+		t.Fatalf("no collateral damage: base %.3fs vs loaded %.3fs", b, l)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 8, Duration: 20 * time.Second, Capacity: 10,
+		Mode: appsim.ModeAuction, Groups: mix(2, 2)}
+	a, b := Run(cfg), Run(cfg)
+	if a.ServedGood != b.ServedGood || a.ServedBad != b.ServedBad {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d",
+			a.ServedGood, a.ServedBad, b.ServedGood, b.ServedBad)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Events, b.Events)
+	}
+}
+
+func TestWarmupDiscardsEarlyOutcomes(t *testing.T) {
+	full := Run(Config{Seed: 9, Duration: 30 * time.Second, Capacity: 10,
+		Mode: appsim.ModeAuction, Groups: mix(2, 2)})
+	warm := Run(Config{Seed: 9, Duration: 30 * time.Second, Capacity: 10,
+		Warmup: 15 * time.Second,
+		Mode:   appsim.ModeAuction, Groups: mix(2, 2)})
+	if warm.ServedGood+warm.ServedBad >= full.ServedGood+full.ServedBad {
+		t.Fatal("warmup did not discard early outcomes")
+	}
+}
+
+func TestPricesReportedUnderOverload(t *testing.T) {
+	res := Run(Config{Seed: 10, Duration: 45 * time.Second, Capacity: 10,
+		Mode: appsim.ModeAuction, Groups: mix(3, 3)})
+	good := &res.Groups[0]
+	if good.Prices.N() == 0 {
+		t.Fatal("no good-client prices recorded")
+	}
+	// Price cannot exceed what a 2 Mbit/s client can pay in a run.
+	if good.Prices.Max() > 2e6/8*45 {
+		t.Fatalf("price %v exceeds physical limit", good.Prices.Max())
+	}
+	if good.PayTimes.N() == 0 {
+		t.Fatal("no payment times recorded")
+	}
+}
+
+func TestRandomDropModeAlsoProtects(t *testing.T) {
+	res := Run(Config{Seed: 11, Duration: 45 * time.Second, Capacity: 20,
+		Mode: appsim.ModeRandomDrop, Groups: mix(5, 5)})
+	// §3.2 should also produce a large good share (price r = (B+G)/c
+	// retries; good clients can afford it).
+	if res.GoodAllocation < 0.25 {
+		t.Fatalf("random-drop good allocation = %.3f, want substantial", res.GoodAllocation)
+	}
+}

@@ -1,0 +1,191 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// A Loop owns a virtual clock and a priority queue of events. Events are
+// closures scheduled at absolute virtual times; the loop runs them in
+// timestamp order (FIFO among equal timestamps). The engine is
+// single-goroutine by design: all model state mutated from event
+// callbacks needs no locking, and a fixed RNG seed makes entire runs
+// reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the run.
+// It is a time.Duration so arithmetic is exact (integer nanoseconds).
+type Time = time.Duration
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: schedule order among equal timestamps
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Cancel prevents a pending event from running. Canceling an event that
+// already ran (or was canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Pending reports whether the event is still queued and not canceled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is the simulation event loop. Create one with NewLoop.
+type Loop struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	nRun   uint64
+	halted bool
+}
+
+// NewLoop returns a Loop whose RNG is seeded with seed. Two loops
+// with equal seeds and equal schedules produce identical runs.
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Rand returns the loop's deterministic RNG. Model code must draw all
+// randomness from this generator to preserve reproducibility.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// Processed returns the number of events executed so far.
+func (l *Loop) Processed() uint64 { return l.nRun }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering
+// events would corrupt causality.
+func (l *Loop) Schedule(at Time, fn func()) *Event {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, l.now))
+	}
+	l.seq++
+	e := &Event{at: at, seq: l.seq, fn: fn, idx: -1}
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// After runs fn after delay d (d < 0 is treated as 0).
+func (l *Loop) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return l.Schedule(l.now+d, fn)
+}
+
+// Halt stops the loop after the current event returns. Pending events
+// stay queued; Run can be called again to resume.
+func (l *Loop) Halt() { l.halted = true }
+
+// Run executes events until the queue empties or until the next event
+// would run strictly after deadline. The clock finishes at the later of
+// its current value and deadline (like real time passing with nothing
+// to do). Run returns the number of events executed by this call.
+func (l *Loop) Run(deadline Time) uint64 {
+	l.halted = false
+	start := l.nRun
+	for len(l.queue) > 0 && !l.halted {
+		next := l.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&l.queue)
+		if next.dead {
+			continue
+		}
+		l.now = next.at
+		next.fn()
+		l.nRun++
+	}
+	if l.now < deadline && !l.halted {
+		l.now = deadline
+	}
+	return l.nRun - start
+}
+
+// RunAll executes events until none remain. It is intended for tests
+// and small models; workloads with self-regenerating events (timers)
+// must use Run with a deadline instead.
+func (l *Loop) RunAll() uint64 {
+	start := l.nRun
+	l.halted = false
+	for len(l.queue) > 0 && !l.halted {
+		next := heap.Pop(&l.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		l.now = next.at
+		next.fn()
+		l.nRun++
+	}
+	return l.nRun - start
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Uniform returns a duration drawn uniformly from [lo, hi].
+func (l *Loop) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(l.rng.Int63n(int64(hi-lo)+1))
+}
+
+// Exp returns an exponentially distributed duration with the given
+// mean, truncated at 1000x the mean to keep event horizons finite.
+func (l *Loop) Exp(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := time.Duration(l.rng.ExpFloat64() * float64(mean))
+	if max := 1000 * mean; d > max {
+		d = max
+	}
+	return d
+}

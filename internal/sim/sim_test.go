@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	l.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	l.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	l.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	l.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	l := NewLoop(1)
+	var at Time
+	l.Schedule(42*time.Millisecond, func() { at = l.Now() })
+	l.RunAll()
+	if at != 42*time.Millisecond {
+		t.Fatalf("Now inside event = %v, want 42ms", at)
+	}
+	if l.Now() != 42*time.Millisecond {
+		t.Fatalf("Now after run = %v", l.Now())
+	}
+}
+
+func TestRunDeadlineStopsAndAdvancesClock(t *testing.T) {
+	l := NewLoop(1)
+	ran := 0
+	l.Schedule(10*time.Millisecond, func() { ran++ })
+	l.Schedule(30*time.Millisecond, func() { ran++ })
+	n := l.Run(20 * time.Millisecond)
+	if n != 1 || ran != 1 {
+		t.Fatalf("ran %d events before deadline, want 1", ran)
+	}
+	if l.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want deadline 20ms", l.Now())
+	}
+	l.Run(time.Second)
+	if ran != 2 {
+		t.Fatalf("second Run did not resume: ran=%d", ran)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	l := NewLoop(1)
+	ran := false
+	e := l.Schedule(time.Millisecond, func() { ran = true })
+	e.Cancel()
+	l.RunAll()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	l := NewLoop(1)
+	ran := false
+	later := l.Schedule(20*time.Millisecond, func() { ran = true })
+	l.Schedule(10*time.Millisecond, func() { later.Cancel() })
+	l.RunAll()
+	if ran {
+		t.Fatal("event canceled mid-run still executed")
+	}
+}
+
+func TestSchedulingInsideEvents(t *testing.T) {
+	l := NewLoop(1)
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, l.Now())
+		if len(ticks) < 5 {
+			l.After(10*time.Millisecond, tick)
+		}
+	}
+	l.After(0, tick)
+	l.RunAll()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if want := time.Duration(i) * 10 * time.Millisecond; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	l := NewLoop(1)
+	l.Schedule(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		l.Schedule(5*time.Millisecond, func() {})
+	})
+	l.RunAll()
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	l := NewLoop(1)
+	l.Schedule(10*time.Millisecond, func() {
+		l.After(-time.Second, func() {})
+	})
+	l.RunAll() // must not panic
+}
+
+func TestHaltStopsLoop(t *testing.T) {
+	l := NewLoop(1)
+	ran := 0
+	l.Schedule(1*time.Millisecond, func() { ran++; l.Halt() })
+	l.Schedule(2*time.Millisecond, func() { ran++ })
+	l.Run(time.Second)
+	if ran != 1 {
+		t.Fatalf("halt did not stop loop, ran=%d", ran)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("pending after halt = %d, want 1", l.Pending())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		l := NewLoop(99)
+		var draws []int64
+		var step func()
+		n := 0
+		step = func() {
+			draws = append(draws, l.Rand().Int63n(1000))
+			n++
+			if n < 50 {
+				l.After(l.Exp(time.Millisecond), step)
+			}
+		}
+		l.After(0, step)
+		l.RunAll()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	l := NewLoop(7)
+	lo, hi := 9*time.Millisecond, 11*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := l.Uniform(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	if got := l.Uniform(hi, lo); got != hi {
+		t.Fatalf("degenerate Uniform = %v, want lo", got)
+	}
+}
+
+func TestExpMeanRoughlyCorrect(t *testing.T) {
+	l := NewLoop(3)
+	mean := 100 * time.Millisecond
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += l.Exp(mean)
+	}
+	got := sum / n
+	if got < 90*time.Millisecond || got > 110*time.Millisecond {
+		t.Fatalf("Exp mean = %v, want ~%v", got, mean)
+	}
+	if l.Exp(0) != 0 {
+		t.Fatal("Exp(0) != 0")
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	l := NewLoop(1)
+	for i := 0; i < 7; i++ {
+		l.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	l.RunAll()
+	if l.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", l.Processed())
+	}
+}
+
+// Property: for any batch of events with random times, execution order
+// is sorted by (time, schedule order).
+func TestQuickExecutionOrderSorted(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		l := NewLoop(5)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			i := i
+			l.Schedule(at, func() { got = append(got, rec{l.Now(), i}) })
+		}
+		l.RunAll()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling an arbitrary subset runs exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(delays []uint8, mask []bool) bool {
+		l := NewLoop(5)
+		ran := make(map[int]bool)
+		events := make([]*Event, len(delays))
+		for i, d := range delays {
+			i := i
+			events[i] = l.Schedule(time.Duration(d)*time.Microsecond, func() { ran[i] = true })
+		}
+		canceled := make(map[int]bool)
+		for i := range events {
+			if i < len(mask) && mask[i] {
+				events[i].Cancel()
+				canceled[i] = true
+			}
+		}
+		l.RunAll()
+		for i := range events {
+			if ran[i] == canceled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+// Package simclock adapts the discrete-event loop to the core.Clock
+// interface, letting the thinner, server, and client models run over
+// virtual time.
+package simclock
+
+import (
+	"time"
+
+	"speakup/internal/core"
+	"speakup/internal/sim"
+)
+
+// Clock implements core.Clock on top of a sim.Loop.
+type Clock struct{ Loop *sim.Loop }
+
+var _ core.Clock = Clock{}
+
+// New wraps loop.
+func New(loop *sim.Loop) Clock { return Clock{Loop: loop} }
+
+// Now returns the loop's virtual time.
+func (c Clock) Now() time.Duration { return c.Loop.Now() }
+
+// After schedules fn after d on the loop and returns a cancel func.
+func (c Clock) After(d time.Duration, fn func()) func() {
+	ev := c.Loop.After(d, fn)
+	return func() { ev.Cancel() }
+}

@@ -1,0 +1,708 @@
+// Package tcpsim implements a Reno/NewReno-style TCP on top of the
+// netsim packet network.
+//
+// Speak-up's analysis leans on specific TCP mechanisms — slow-start
+// ramp (§3.4), congestion-controlled payment channels (§4.1), the
+// multi-connection advantage of bad clients on shared links (§4.2),
+// and loss/queueing felt by bystander transfers (§7.7) — so this
+// package models them per-packet: 1-RTT connection establishment with
+// SYN retransmission, cumulative ACKs, duplicate-ACK fast retransmit
+// with NewReno partial-ACK recovery, and an RFC 6298-style
+// retransmission timer with exponential backoff.
+//
+// Applications write logical bytes annotated with metadata records
+// rather than real buffers: the simulator transfers byte *counts*
+// across the network and, because both endpoints live in one process,
+// hands the receiver the sender's record metadata once the covering
+// bytes have arrived in order. This keeps the hot path allocation-light
+// without changing any on-the-wire behaviour.
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"speakup/internal/netsim"
+	"speakup/internal/sim"
+)
+
+// Options configures a Stack. The zero value selects the defaults
+// documented on each field.
+type Options struct {
+	// MSS is the maximum segment payload in bytes. Default 1460.
+	MSS int
+	// HeaderBytes is the per-segment header overhead. Default 40.
+	HeaderBytes int
+	// InitialCwndSegments is the initial congestion window. Default 2.
+	InitialCwndSegments int
+	// RTOMin clamps the retransmission timeout. Default 200ms.
+	RTOMin time.Duration
+	// RTOInit is the timeout before any RTT sample. Default 1s.
+	RTOInit time.Duration
+	// RTOMax caps exponential backoff. Default 60s.
+	RTOMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MSS == 0 {
+		o.MSS = 1460
+	}
+	if o.HeaderBytes == 0 {
+		o.HeaderBytes = 40
+	}
+	if o.InitialCwndSegments == 0 {
+		o.InitialCwndSegments = 2
+	}
+	if o.RTOMin == 0 {
+		o.RTOMin = 200 * time.Millisecond
+	}
+	if o.RTOInit == 0 {
+		o.RTOInit = time.Second
+	}
+	if o.RTOMax == 0 {
+		o.RTOMax = 60 * time.Second
+	}
+	return o
+}
+
+type connKey struct {
+	initiator netsim.NodeID
+	n         uint64
+}
+
+type segment struct {
+	key      connKey
+	sender   *Conn // sending endpoint; receivers use it to link peers
+	syn      bool
+	synAck   bool
+	rst      bool
+	seq      int64 // offset of first payload byte
+	ackNo    int64 // cumulative: next byte expected by the segment's sender
+	length   int   // payload bytes (0 for pure ACK/SYN/RST)
+	fromInit bool  // true if sent by the connection initiator
+}
+
+// Stack is a per-host TCP endpoint multiplexer bound to one netsim node.
+type Stack struct {
+	net    *netsim.Network
+	loop   *sim.Loop
+	node   netsim.NodeID
+	opts   Options
+	accept func(*Conn)
+	conns  map[connKey]*Conn
+	nextID uint64
+}
+
+// NewStack binds a TCP stack to node in net, replacing the node's
+// packet handler.
+func NewStack(net *netsim.Network, node netsim.NodeID, opts Options) *Stack {
+	s := &Stack{
+		net:   net,
+		loop:  net.Loop(),
+		node:  node,
+		opts:  opts.withDefaults(),
+		conns: make(map[connKey]*Conn),
+	}
+	net.SetHandler(node, s.handlePacket)
+	return s
+}
+
+// Node returns the netsim node this stack is bound to.
+func (s *Stack) Node() netsim.NodeID { return s.node }
+
+// Net returns the network the stack is attached to.
+func (s *Stack) Net() *netsim.Network { return s.net }
+
+// Options returns the stack's effective options.
+func (s *Stack) Options() Options { return s.opts }
+
+// Listen installs the accept handler invoked for each inbound
+// connection. The handler runs before the SYNACK is sent, so callbacks
+// installed there observe all data.
+func (s *Stack) Listen(accept func(*Conn)) { s.accept = accept }
+
+// record is a run of application bytes sharing one metadata value.
+type record struct {
+	start, end int64 // [start, end) offsets in the stream
+	meta       any
+	aborted    bool // truncated by AbortPending: suppress OnRecord
+}
+
+// Conn is one endpoint of a TCP connection. A connection carries two
+// independent byte streams (one per direction); each Conn owns the
+// sender state for its outgoing stream and the receiver state for its
+// incoming stream.
+type Conn struct {
+	stack     *Stack
+	peer      *Conn // opposite endpoint; set when its first segment arrives
+	key       connKey
+	initiator bool
+	remote    netsim.NodeID
+
+	established bool
+	closed      bool
+
+	// OnOpen fires when the handshake completes (both sides). OnBytes
+	// fires as in-order payload bytes arrive, tagged with the record
+	// metadata they belong to. OnRecord fires when a record's last byte
+	// arrives in order. OnClose fires on teardown caused by the peer.
+	OnOpen   func()
+	OnBytes  func(n int, meta any)
+	OnRecord func(meta any)
+	OnClose  func()
+
+	// --- sender state ---
+	records    []record
+	recBase    int   // index of first record the receiver may still need
+	writeEnd   int64 // total bytes written
+	sndUna     int64
+	sndNxt     int64
+	cwnd       float64 // bytes
+	ssthresh   float64 // bytes
+	dupAcks    int
+	inRecovery bool
+	recoverSeq int64 // NewReno: sndNxt when loss was detected
+
+	rtoTimer   *sim.Event
+	rto        time.Duration
+	srtt       time.Duration
+	rttvar     time.Duration
+	haveSample bool
+	backoff    int
+
+	// RTT timing: one sample in flight at a time (Karn's algorithm).
+	timedSeq     int64
+	timedAt      sim.Time
+	timing       bool
+	timedRetrans bool
+
+	synTimer *sim.Event
+
+	// --- receiver state ---
+	rcvNxt int64
+	ooo    map[int64]int64 // out-of-order runs: start offset -> end offset
+
+	// Stats (payload bytes; headers excluded).
+	BytesSent      int64 // handed to the network, including retransmissions
+	BytesDelivered int64 // delivered in order to the app
+	Retransmits    int
+	Timeouts       int
+}
+
+// Dial opens a connection to the stack bound at the remote node. The
+// returned Conn accepts writes immediately; data flows once the
+// handshake completes. onOpen may be nil.
+func (s *Stack) Dial(remote netsim.NodeID, onOpen func()) *Conn {
+	s.nextID++
+	key := connKey{initiator: s.node, n: s.nextID}
+	c := s.newConn(key, true, remote)
+	c.OnOpen = onOpen
+	c.sendSYN()
+	return c
+}
+
+func (s *Stack) newConn(key connKey, initiator bool, remote netsim.NodeID) *Conn {
+	c := &Conn{
+		stack:     s,
+		key:       key,
+		initiator: initiator,
+		remote:    remote,
+		cwnd:      float64(s.opts.InitialCwndSegments * s.opts.MSS),
+		ssthresh:  1 << 30,
+		rto:       s.opts.RTOInit,
+		ooo:       make(map[int64]int64),
+	}
+	s.conns[key] = c
+	return c
+}
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.established }
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Cwnd returns the current congestion window in bytes.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// RTO returns the current retransmission timeout.
+func (c *Conn) RTO() time.Duration { return c.rto }
+
+// SRTT returns the smoothed RTT estimate, 0 before the first sample.
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// Outstanding returns unacknowledged bytes in flight.
+func (c *Conn) Outstanding() int64 { return c.sndNxt - c.sndUna }
+
+// PendingBytes returns written-but-unsent bytes.
+func (c *Conn) PendingBytes() int64 { return c.writeEnd - c.sndNxt }
+
+// Remote returns the node at the other end of the connection.
+func (c *Conn) Remote() netsim.NodeID { return c.remote }
+
+// Write appends n logical bytes tagged with meta to the outgoing
+// stream. Record boundaries are preserved: the receiving side's
+// OnRecord fires once the record's final byte arrives in order.
+func (c *Conn) Write(n int, meta any) {
+	if n <= 0 {
+		panic("tcpsim: Write of non-positive length")
+	}
+	if c.closed {
+		return
+	}
+	c.records = append(c.records, record{start: c.writeEnd, end: c.writeEnd + int64(n), meta: meta})
+	c.writeEnd += int64(n)
+	c.trySend()
+}
+
+// AbortPending discards written-but-unsent bytes and returns how many
+// were discarded. A record truncated mid-way is marked aborted so the
+// receiver will not fire OnRecord for it; bytes of it already in
+// flight still count toward OnBytes.
+func (c *Conn) AbortPending() int64 {
+	cut := c.writeEnd - c.sndNxt
+	if cut <= 0 {
+		return 0
+	}
+	c.writeEnd = c.sndNxt
+	for i := len(c.records) - 1; i >= 0; i-- {
+		r := &c.records[i]
+		if r.start >= c.writeEnd {
+			c.records = c.records[:i]
+			continue
+		}
+		if r.end > c.writeEnd {
+			r.end = c.writeEnd
+			r.aborted = true
+		}
+		break
+	}
+	return cut
+}
+
+// Close tears the connection down abruptly (RST to the peer), like the
+// thinner evicting a payment channel. In-flight packets are discarded
+// on arrival. OnClose fires on the peer, not on the closing side.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	rst := &segment{key: c.key, rst: true, fromInit: c.initiator}
+	c.fillAndSend(rst)
+	c.teardown()
+}
+
+func (c *Conn) teardown() {
+	c.closed = true
+	c.established = false
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	if c.synTimer != nil {
+		c.synTimer.Cancel()
+	}
+	delete(c.stack.conns, c.key)
+}
+
+func (c *Conn) sendSYN() {
+	if c.closed || c.established {
+		return
+	}
+	c.fillAndSend(&segment{key: c.key, syn: true, fromInit: true})
+	c.synTimer = c.stack.loop.After(c.rto, func() {
+		if !c.established && !c.closed {
+			c.rto = minDur(c.rto*2, c.stack.opts.RTOMax)
+			c.sendSYN()
+		}
+	})
+}
+
+// fillAndSend stamps sender identity and piggybacked ACK, then hands
+// the segment to the network.
+func (c *Conn) fillAndSend(seg *segment) {
+	seg.sender = c
+	seg.ackNo = c.rcvNxt
+	c.stack.net.Send(&netsim.Packet{
+		Size:    c.stack.opts.HeaderBytes + seg.length,
+		Src:     c.stack.node,
+		Dst:     c.remote,
+		Payload: seg,
+	})
+}
+
+func (s *Stack) handlePacket(pkt *netsim.Packet) {
+	seg, ok := pkt.Payload.(*segment)
+	if !ok {
+		panic(fmt.Sprintf("tcpsim: non-TCP packet at node %d", s.node))
+	}
+	if seg.syn {
+		if c, exists := s.conns[seg.key]; exists {
+			// Retransmitted SYN for an accepted connection: re-SYNACK.
+			c.fillAndSend(&segment{key: c.key, synAck: true, fromInit: c.initiator})
+			return
+		}
+		if s.accept == nil {
+			return // no listener: silently drop
+		}
+		c := s.newConn(seg.key, false, pkt.Src)
+		c.peer = seg.sender
+		c.established = true
+		s.accept(c)
+		c.fillAndSend(&segment{key: c.key, synAck: true, fromInit: false})
+		if c.OnOpen != nil {
+			c.OnOpen()
+		}
+		return
+	}
+	c, exists := s.conns[seg.key]
+	if !exists {
+		return // stale packet for a closed connection
+	}
+	if c.peer == nil {
+		c.peer = seg.sender
+	}
+	c.handleSegment(seg)
+}
+
+func (c *Conn) handleSegment(seg *segment) {
+	if c.closed {
+		return
+	}
+	if seg.rst {
+		c.teardown()
+		if c.OnClose != nil {
+			c.OnClose()
+		}
+		return
+	}
+	if seg.synAck {
+		if !c.established {
+			c.established = true
+			if c.synTimer != nil {
+				c.synTimer.Cancel()
+			}
+			c.rto = c.stack.opts.RTOInit // discard handshake backoff
+			if c.OnOpen != nil {
+				c.OnOpen()
+			}
+			c.trySend()
+		}
+		return
+	}
+	if seg.length > 0 {
+		c.receiveData(seg)
+	}
+	c.processAck(seg.ackNo, seg.length > 0)
+}
+
+// receiveData runs receiver-side reassembly and sends a cumulative ACK.
+func (c *Conn) receiveData(seg *segment) {
+	start, end := seg.seq, seg.seq+int64(seg.length)
+	if end > c.rcvNxt {
+		if start <= c.rcvNxt {
+			c.advanceTo(end)
+			c.drainOutOfOrder()
+		} else if cur, dup := c.ooo[start]; !dup || end > cur {
+			c.ooo[start] = end
+		}
+	}
+	if c.closed {
+		return // an application callback closed the connection
+	}
+	// Cumulative ACK for everything received in order so far.
+	c.fillAndSend(&segment{key: c.key, fromInit: c.initiator})
+}
+
+// drainOutOfOrder folds buffered runs that now overlap the in-order
+// point. Multiple passes handle chains; overall coverage is
+// deterministic regardless of map iteration order.
+func (c *Conn) drainOutOfOrder() {
+	for {
+		advanced := false
+		for start, end := range c.ooo {
+			if start <= c.rcvNxt {
+				delete(c.ooo, start)
+				if end > c.rcvNxt {
+					c.advanceTo(end)
+				}
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// advanceTo moves rcvNxt forward and fires application callbacks with
+// the metadata attached by the peer's sender.
+func (c *Conn) advanceTo(end int64) {
+	from := c.rcvNxt
+	c.rcvNxt = end
+	c.BytesDelivered += end - from
+	peer := c.peer
+	if peer == nil {
+		return
+	}
+	for i := peer.recBase; i < len(peer.records); i++ {
+		r := peer.records[i]
+		if r.end <= from {
+			continue
+		}
+		if r.start >= end {
+			break
+		}
+		lo, hi := maxI64(r.start, from), minI64(r.end, end)
+		if hi > lo && c.OnBytes != nil {
+			c.OnBytes(int(hi-lo), r.meta)
+		}
+		if r.end <= end && r.end > from && !r.aborted && c.OnRecord != nil {
+			c.OnRecord(r.meta)
+		}
+	}
+}
+
+// processAck runs sender-side congestion control. withData suppresses
+// duplicate-ACK counting for piggybacked ACKs on data segments.
+func (c *Conn) processAck(ackNo int64, withData bool) {
+	if c.closed {
+		return // an OnBytes/OnRecord callback may have closed us
+	}
+	opts := &c.stack.opts
+	mss := float64(opts.MSS)
+	switch {
+	case ackNo > c.sndUna:
+		acked := ackNo - c.sndUna
+		c.sndUna = ackNo
+		c.gcRecords()
+		// RTT sample (Karn: skip if the timed segment was retransmitted).
+		if c.timing && ackNo > c.timedSeq {
+			if !c.timedRetrans {
+				c.updateRTT(c.stack.loop.Now() - c.timedAt)
+			}
+			c.timing = false
+		}
+		if c.inRecovery {
+			if ackNo >= c.recoverSeq {
+				c.inRecovery = false
+				c.cwnd = c.ssthresh
+				c.dupAcks = 0
+			} else {
+				// NewReno partial ACK: retransmit the next hole; deflate
+				// the window by the amount acked, then inflate by one MSS.
+				c.retransmit(c.sndUna)
+				c.cwnd = maxF(c.cwnd-float64(acked)+mss, mss)
+			}
+		} else {
+			c.dupAcks = 0
+			if c.cwnd < c.ssthresh {
+				// Slow start with appropriate byte counting (cap 2*MSS).
+				c.cwnd += minF(float64(acked), 2*mss)
+				if c.cwnd > c.ssthresh {
+					c.cwnd = c.ssthresh
+				}
+			} else {
+				c.cwnd += mss * mss / c.cwnd // congestion avoidance
+			}
+		}
+		c.backoff = 0
+		c.resetRTOTimer()
+		c.trySend()
+	case ackNo == c.sndUna && c.sndNxt > c.sndUna && !withData:
+		c.dupAcks++
+		if c.inRecovery {
+			c.cwnd += mss
+			c.trySend()
+		} else if c.dupAcks >= 3 {
+			c.enterRecovery()
+		} else if c.writeEnd > c.sndNxt {
+			// RFC 3042 limited transmit: send one new segment per early
+			// duplicate ACK to keep the ACK clock alive; without it,
+			// small-window tail loss degenerates into RTO stalls.
+			c.limitedTransmit()
+		} else if int64(c.dupAcks) >= maxI64(1, (c.sndNxt-c.sndUna)/int64(opts.MSS)-1) {
+			// RFC 5827 early retransmit: with too little in flight to
+			// ever produce three duplicate ACKs, lower the threshold.
+			c.enterRecovery()
+		}
+	}
+}
+
+// limitedTransmit sends one segment of new data beyond cwnd.
+func (c *Conn) limitedTransmit() {
+	avail := c.writeEnd - c.sndNxt
+	if avail <= 0 {
+		return
+	}
+	length := int(minI64(int64(c.stack.opts.MSS), avail))
+	seg := &segment{key: c.key, seq: c.sndNxt, length: length, fromInit: c.initiator}
+	c.sndNxt += int64(length)
+	c.BytesSent += int64(length)
+	c.fillAndSend(seg)
+}
+
+func (c *Conn) enterRecovery() {
+	mss := float64(c.stack.opts.MSS)
+	flight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = maxF(flight/2, 2*mss)
+	c.cwnd = c.ssthresh + 3*mss
+	c.inRecovery = true
+	c.recoverSeq = c.sndNxt
+	c.retransmit(c.sndUna)
+	c.resetRTOTimer()
+}
+
+// retransmit resends one segment starting at seq. The length never
+// exceeds what was originally sent (no resegmentation past sndNxt).
+func (c *Conn) retransmit(seq int64) {
+	length := int(minI64(int64(c.stack.opts.MSS), c.sndNxt-seq))
+	if length <= 0 {
+		return
+	}
+	if c.timing && seq <= c.timedSeq && c.timedSeq < seq+int64(length) {
+		c.timedRetrans = true
+	}
+	c.Retransmits++
+	c.BytesSent += int64(length)
+	c.fillAndSend(&segment{key: c.key, seq: seq, length: length, fromInit: c.initiator})
+}
+
+func (c *Conn) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if !c.haveSample {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		c.haveSample = true
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = clampDur(c.srtt+4*c.rttvar, c.stack.opts.RTOMin, c.stack.opts.RTOMax)
+}
+
+func (c *Conn) resetRTOTimer() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	if c.sndNxt == c.sndUna {
+		return // nothing outstanding
+	}
+	rto := clampDur(c.rto<<uint(c.backoff), c.stack.opts.RTOMin, c.stack.opts.RTOMax)
+	c.rtoTimer = c.stack.loop.After(rto, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	if c.closed || c.sndNxt == c.sndUna {
+		return
+	}
+	c.Timeouts++
+	mss := float64(c.stack.opts.MSS)
+	flight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = maxF(flight/2, 2*mss)
+	c.cwnd = mss
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.timing = false // Karn: invalidate the outstanding sample
+	if c.backoff < 12 {
+		c.backoff++
+	}
+	c.retransmit(c.sndUna)
+	c.resetRTOTimer()
+}
+
+// trySend pushes new segments while the congestion window allows.
+func (c *Conn) trySend() {
+	if !c.established || c.closed {
+		return
+	}
+	opts := &c.stack.opts
+	for {
+		if float64(c.sndNxt-c.sndUna) >= c.cwnd {
+			return
+		}
+		avail := c.writeEnd - c.sndNxt
+		if avail <= 0 {
+			return
+		}
+		length := int(minI64(int64(opts.MSS), avail))
+		if !c.timing {
+			c.timing = true
+			c.timedSeq = c.sndNxt
+			c.timedAt = c.stack.loop.Now()
+			c.timedRetrans = false
+		}
+		seg := &segment{key: c.key, seq: c.sndNxt, length: length, fromInit: c.initiator}
+		c.sndNxt += int64(length)
+		c.BytesSent += int64(length)
+		c.fillAndSend(seg)
+		if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+			c.resetRTOTimer()
+		}
+	}
+}
+
+// gcRecords forgets fully-acked record prefixes so long-lived
+// connections (payment channels send tens of megabytes) do not grow
+// without bound. Acked implies delivered, so the peer no longer needs
+// those records.
+func (c *Conn) gcRecords() {
+	for c.recBase < len(c.records) && c.records[c.recBase].end <= c.sndUna {
+		c.recBase++
+	}
+	if c.recBase > 256 && c.recBase*2 > len(c.records) {
+		c.records = append([]record(nil), c.records[c.recBase:]...)
+		c.recBase = 0
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

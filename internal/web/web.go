@@ -1,0 +1,395 @@
+// Package web implements speak-up's thinner as a real network front-end
+// over net/http — the production counterpart of the paper's OKWS
+// prototype (§6).
+//
+// Protocol (mirroring the JavaScript flow the paper describes):
+//
+//	GET  /request?id=N            the client's request. If the origin is
+//	                              free it is served directly. If busy,
+//	                              the thinner replies 402 with
+//	                              Speakup-Action: pay.
+//	GET  /request?id=N&wait=1     the re-issued actual request; held open
+//	                              until N wins an auction and the origin
+//	                              responds.
+//	POST /pay?id=N                the payment channel: the thinner sinks
+//	                              and counts the dummy body bytes. The
+//	                              response tells the client to continue
+//	                              with another POST, that it was
+//	                              admitted, or that it was evicted.
+//	GET  /stats                   JSON counters.
+//
+// The thinner core (internal/core) is single-threaded by design; Front
+// serializes all core access behind one mutex, and the core's timers
+// run through a clock adapter that takes the same mutex.
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"speakup/internal/core"
+)
+
+// Origin is the protected service behind the thinner.
+type Origin interface {
+	// Serve processes one request and returns the response body. Calls
+	// are serialized by the Front (the emulated server model: one
+	// request at a time).
+	Serve(id core.RequestID) ([]byte, error)
+}
+
+// OriginFunc adapts a function to the Origin interface.
+type OriginFunc func(id core.RequestID) ([]byte, error)
+
+// Serve implements Origin.
+func (f OriginFunc) Serve(id core.RequestID) ([]byte, error) { return f(id) }
+
+// EmulatedOrigin reproduces the paper's emulated server: service time
+// drawn uniformly from [0.9/c, 1.1/c] per request.
+type EmulatedOrigin struct {
+	mu       sync.Mutex
+	capacity float64
+	body     []byte
+}
+
+// NewEmulatedOrigin creates an origin with the given capacity
+// (requests/second).
+func NewEmulatedOrigin(capacity float64) *EmulatedOrigin {
+	if capacity <= 0 {
+		panic("web: origin capacity must be positive")
+	}
+	return &EmulatedOrigin{
+		capacity: capacity,
+		body:     []byte("ok: your request has been served by the protected origin\n"),
+	}
+}
+
+// Serve sleeps for the drawn service time and returns a fixed body.
+func (o *EmulatedOrigin) Serve(id core.RequestID) ([]byte, error) {
+	mean := time.Duration(float64(time.Second) / o.capacity)
+	lo := time.Duration(float64(mean) * 0.9)
+	span := time.Duration(float64(mean) * 0.2)
+	o.mu.Lock()
+	jitter := time.Duration(int64(time.Now().UnixNano()) % int64(span+1))
+	o.mu.Unlock()
+	time.Sleep(lo + jitter)
+	return o.body, nil
+}
+
+// Config tunes a Front.
+type Config struct {
+	// Thinner configures the auction core (timeouts).
+	Thinner core.Config
+	// PayChunk is the read-buffer size for payment bodies. Default 16 KB.
+	PayChunk int
+	// PayPollInterval bounds how quickly a winning/evicted payment
+	// channel is released mid-POST. Default 50ms.
+	PayPollInterval time.Duration
+	// RequestTimeout bounds how long a held request waits for service.
+	// Default 5 minutes.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PayChunk == 0 {
+		c.PayChunk = 16 << 10
+	}
+	if c.PayPollInterval == 0 {
+		c.PayPollInterval = 50 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// payState tracks one payment channel's fate.
+type payState int
+
+const (
+	payActive payState = iota
+	payAdmitted
+	payEvicted
+)
+
+// Front is the speak-up HTTP front-end. Create with NewFront; it
+// implements http.Handler.
+type Front struct {
+	cfg    Config
+	origin Origin
+
+	mu      sync.Mutex
+	th      *core.Thinner
+	started time.Time
+	waiters map[core.RequestID]chan []byte // held /request responses
+	pays    map[core.RequestID]payState
+
+	// Counters (also under mu).
+	paymentBytes int64
+	served       uint64
+}
+
+// NewFront builds the front-end for an origin.
+func NewFront(origin Origin, cfg Config) *Front {
+	f := &Front{
+		cfg:     cfg.withDefaults(),
+		origin:  origin,
+		started: time.Now(),
+		waiters: make(map[core.RequestID]chan []byte),
+		pays:    make(map[core.RequestID]payState),
+	}
+	// The clock's mutex must be wired before NewThinner schedules its
+	// first sweep timer on it.
+	clock := &lockedClock{epoch: f.started, mu: &f.mu}
+	f.th = core.NewThinner(clock, f.cfg.Thinner)
+	f.th.Admit = f.admitLocked
+	f.th.Evict = func(id core.RequestID, paid int64, wasted bool) {
+		if st, ok := f.pays[id]; ok && st == payActive {
+			if wasted {
+				f.pays[id] = payEvicted
+			} else {
+				f.pays[id] = payAdmitted
+			}
+		}
+	}
+	return f
+}
+
+// lockedClock adapts wall-clock time to core.Clock, running callbacks
+// under the Front's mutex.
+type lockedClock struct {
+	mu    *sync.Mutex
+	epoch time.Time
+}
+
+func (c *lockedClock) Now() time.Duration { return time.Since(c.epoch) }
+
+func (c *lockedClock) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})
+	return func() { t.Stop() }
+}
+
+// admitLocked (called with mu held, from the thinner core) dispatches
+// the request to the origin on its own goroutine.
+func (f *Front) admitLocked(id core.RequestID, paid int64) {
+	if st, ok := f.pays[id]; ok && st == payActive {
+		f.pays[id] = payAdmitted
+		// Janitor: if the client never comes back to collect the
+		// admitted/evicted verdict, drop the entry.
+		time.AfterFunc(30*time.Second, func() {
+			f.mu.Lock()
+			if st, ok := f.pays[id]; ok && st != payActive {
+				delete(f.pays, id)
+			}
+			f.mu.Unlock()
+		})
+	}
+	go func() {
+		body, err := f.origin.Serve(id)
+		if err != nil {
+			body = []byte("origin error: " + err.Error())
+		}
+		f.mu.Lock()
+		f.served++
+		if ch, ok := f.waiters[id]; ok {
+			delete(f.waiters, id)
+			ch <- body
+		}
+		f.th.ServerDone()
+		f.mu.Unlock()
+	}()
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/request":
+		f.handleRequest(w, r)
+	case "/pay":
+		f.handlePay(w, r)
+	case "/stats":
+		f.handleStats(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func parseID(r *http.Request) (core.RequestID, error) {
+	raw := r.URL.Query().Get("id")
+	if raw == "" {
+		return 0, errors.New("missing id")
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad id: %v", err)
+	}
+	return core.RequestID(n), nil
+}
+
+func (f *Front) handleRequest(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+
+	f.mu.Lock()
+	if !wait && f.th.Busy() {
+		f.mu.Unlock()
+		// The "JavaScript" reply: open a payment channel and re-issue.
+		w.Header().Set("Speakup-Action", "pay")
+		w.WriteHeader(http.StatusPaymentRequired)
+		fmt.Fprintln(w, "server busy: stream dummy bytes to /pay and re-issue with &wait=1")
+		return
+	}
+	ch := make(chan []byte, 1)
+	f.waiters[id] = ch
+	f.th.RequestArrived(id)
+	f.mu.Unlock()
+
+	select {
+	case body := <-ch:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(body)
+	case <-r.Context().Done():
+		f.mu.Lock()
+		delete(f.waiters, id)
+		f.mu.Unlock()
+	case <-time.After(f.cfg.RequestTimeout):
+		f.mu.Lock()
+		delete(f.waiters, id)
+		f.mu.Unlock()
+		http.Error(w, "timed out waiting for service", http.StatusGatewayTimeout)
+	}
+}
+
+// payReply is the JSON body of /pay responses.
+type payReply struct {
+	Status string `json:"status"` // "continue", "admitted", "evicted"
+	Paid   int64  `json:"paid"`   // bytes credited on this channel call
+}
+
+func (f *Front) handlePay(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	f.mu.Lock()
+	if _, ok := f.pays[id]; !ok {
+		f.pays[id] = payActive
+	}
+	f.mu.Unlock()
+
+	rc := http.NewResponseController(w)
+	canDeadline := rc.SetReadDeadline(time.Now().Add(f.cfg.PayPollInterval)) == nil
+	buf := make([]byte, f.cfg.PayChunk)
+	var credited int64
+	status := "continue"
+	for {
+		// Bound each read so admission/eviction interrupts the POST.
+		if canDeadline {
+			rc.SetReadDeadline(time.Now().Add(f.cfg.PayPollInterval))
+		}
+		n, err := r.Body.Read(buf)
+		if n > 0 {
+			credited += int64(n)
+			f.mu.Lock()
+			f.th.PaymentReceived(id, int64(n))
+			f.paymentBytes += int64(n)
+			st := f.pays[id]
+			f.mu.Unlock()
+			if st != payActive {
+				status = stateString(st)
+				break
+			}
+		}
+		if err != nil {
+			var ne interface{ Timeout() bool }
+			if errors.As(err, &ne) && ne.Timeout() {
+				f.mu.Lock()
+				st := f.pays[id]
+				f.mu.Unlock()
+				if st != payActive {
+					status = stateString(st)
+					break
+				}
+				continue // just a poll tick; keep reading
+			}
+			break // EOF (POST complete) or client gone
+		}
+	}
+	f.mu.Lock()
+	if st := f.pays[id]; st != payActive {
+		status = stateString(st)
+		delete(f.pays, id)
+	}
+	f.mu.Unlock()
+	// Clear the deadline so the response writes cleanly.
+	rc.SetReadDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payReply{Status: status, Paid: credited})
+}
+
+func stateString(st payState) string {
+	switch st {
+	case payAdmitted:
+		return "admitted"
+	case payEvicted:
+		return "evicted"
+	}
+	return "continue"
+}
+
+// Stats is the JSON shape of /stats.
+type Stats struct {
+	Uptime        string     `json:"uptime"`
+	Served        uint64     `json:"served"`
+	PaymentBytes  int64      `json:"payment_bytes"`
+	PaymentMbps   float64    `json:"payment_mbps"`
+	GoingRate     int64      `json:"going_rate_bytes"`
+	Contenders    int        `json:"contenders"`
+	ThinnerTotals core.Stats `json:"thinner"`
+}
+
+// Snapshot returns current counters.
+func (f *Front) Snapshot() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	up := time.Since(f.started)
+	return Stats{
+		Uptime:        up.Truncate(time.Millisecond).String(),
+		Served:        f.served,
+		PaymentBytes:  f.paymentBytes,
+		PaymentMbps:   float64(f.paymentBytes) * 8 / up.Seconds() / 1e6,
+		GoingRate:     f.th.GoingRate(),
+		Contenders:    f.th.Ledger().Eligible(),
+		ThinnerTotals: f.th.Stats(),
+	}
+}
+
+func (f *Front) handleStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(f.Snapshot())
+}
+
+// Close stops the thinner's background timers.
+func (f *Front) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.th.Stop()
+}

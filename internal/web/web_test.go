@@ -1,0 +1,280 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"speakup/internal/core"
+)
+
+// slowOrigin serves with a fixed delay and records order.
+type slowOrigin struct {
+	mu    sync.Mutex
+	delay time.Duration
+	order []core.RequestID
+}
+
+func (o *slowOrigin) Serve(id core.RequestID) ([]byte, error) {
+	time.Sleep(o.delay)
+	o.mu.Lock()
+	o.order = append(o.order, id)
+	o.mu.Unlock()
+	return []byte(fmt.Sprintf("served %d", id)), nil
+}
+
+func newTestFront(t *testing.T, delay time.Duration) (*Front, *httptest.Server, *slowOrigin) {
+	t.Helper()
+	origin := &slowOrigin{delay: delay}
+	front := NewFront(origin, Config{
+		PayPollInterval: 10 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout: 500 * time.Millisecond,
+			SweepInterval: 100 * time.Millisecond,
+		},
+	})
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() {
+		srv.Close()
+		front.Close()
+	})
+	return front, srv, origin
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	code, body, err := tryGet(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return code, body
+}
+
+// tryGet is the goroutine-safe variant (no testing.T calls).
+func tryGet(url string) (int, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), nil
+}
+
+func TestFreeServerServesDirectly(t *testing.T) {
+	_, srv, _ := newTestFront(t, 10*time.Millisecond)
+	code, body := get(t, srv.URL+"/request?id=1")
+	if code != http.StatusOK || !strings.Contains(body, "served 1") {
+		t.Fatalf("got %d %q", code, body)
+	}
+}
+
+func TestBusyServerDemandsPayment(t *testing.T) {
+	_, srv, _ := newTestFront(t, 300*time.Millisecond)
+	go http.Get(srv.URL + "/request?id=1")
+	time.Sleep(50 * time.Millisecond) // let request 1 occupy the origin
+	resp, err := http.Get(srv.URL + "/request?id=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPaymentRequired {
+		t.Fatalf("status = %d, want 402", resp.StatusCode)
+	}
+	if resp.Header.Get("Speakup-Action") != "pay" {
+		t.Fatal("missing Speakup-Action header")
+	}
+}
+
+func TestPaymentWinsAuction(t *testing.T) {
+	_, srv, origin := newTestFront(t, 200*time.Millisecond)
+	go http.Get(srv.URL + "/request?id=1") // occupies origin
+	time.Sleep(30 * time.Millisecond)
+
+	// Client 2 re-issues and pays; client 3 re-issues and pays less.
+	results := make(chan core.RequestID, 2)
+	waitReq := func(id int) {
+		code, _, _ := tryGet(fmt.Sprintf("%s/request?id=%d&wait=1", srv.URL, id))
+		if code == http.StatusOK {
+			results <- core.RequestID(id)
+		}
+	}
+	go waitReq(2)
+	go waitReq(3)
+	time.Sleep(20 * time.Millisecond)
+	pay := func(id, n int) {
+		body := strings.NewReader(strings.Repeat("x", n))
+		resp, err := http.Post(fmt.Sprintf("%s/pay?id=%d", srv.URL, id), "application/octet-stream", body)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	go pay(2, 200_000)
+	go pay(3, 10_000)
+
+	first := <-results
+	if first != 2 {
+		t.Fatalf("first served waiter = %d, want 2 (the higher payer)", first)
+	}
+	<-results
+	origin.mu.Lock()
+	defer origin.mu.Unlock()
+	if len(origin.order) != 3 {
+		t.Fatalf("origin served %d, want 3", len(origin.order))
+	}
+}
+
+func TestPayReplyAdmitted(t *testing.T) {
+	_, srv, _ := newTestFront(t, 150*time.Millisecond)
+	go http.Get(srv.URL + "/request?id=1")
+	time.Sleep(30 * time.Millisecond)
+	go tryGet(srv.URL + "/request?id=2&wait=1")
+	time.Sleep(20 * time.Millisecond)
+
+	// A long POST: the win must interrupt it and reply "admitted".
+	pr, pw := io.Pipe()
+	done := make(chan payReply, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/pay?id=2", "application/octet-stream", pr)
+		if err != nil {
+			done <- payReply{Status: "error"}
+			return
+		}
+		var rep payReply
+		json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		done <- rep
+	}()
+	pw.Write(make([]byte, 64_000))
+	rep := <-done // origin frees at ~150ms; auction admits id=2
+	pw.Close()
+	if rep.Status != "admitted" {
+		t.Fatalf("pay reply = %+v, want admitted", rep)
+	}
+	if rep.Paid < 64_000 {
+		t.Fatalf("credited %d bytes, want >= 64000", rep.Paid)
+	}
+}
+
+func TestCompletedPOSTGetsContinue(t *testing.T) {
+	_, srv, _ := newTestFront(t, 800*time.Millisecond) // origin stays busy
+	go http.Get(srv.URL + "/request?id=1")
+	time.Sleep(30 * time.Millisecond)
+	go tryGet(srv.URL + "/request?id=2&wait=1")
+	time.Sleep(20 * time.Millisecond)
+	resp, err := http.Post(srv.URL+"/pay?id=2", "application/octet-stream",
+		strings.NewReader(strings.Repeat("x", 10_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep payReply
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if rep.Status != "continue" {
+		t.Fatalf("status = %q, want continue", rep.Status)
+	}
+}
+
+func TestOrphanPaymentEvicted(t *testing.T) {
+	front, srv, _ := newTestFront(t, 1500*time.Millisecond) // busy past the orphan timeout
+	go http.Get(srv.URL + "/request?id=1")
+	time.Sleep(30 * time.Millisecond)
+	// Pay for id 99 but never send its request: evicted after ~500ms.
+	pr, pw := io.Pipe()
+	done := make(chan payReply, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/pay?id=99", "application/octet-stream", pr)
+		if err != nil {
+			done <- payReply{Status: "error"}
+			return
+		}
+		var rep payReply
+		json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		done <- rep
+	}()
+	pw.Write(make([]byte, 10_000))
+	select {
+	case rep := <-done:
+		if rep.Status != "evicted" {
+			t.Fatalf("status = %q, want evicted", rep.Status)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("orphan payment not evicted")
+	}
+	pw.Close()
+	st := front.Snapshot()
+	if st.ThinnerTotals.Evicted == 0 || st.ThinnerTotals.WastedBytes == 0 {
+		t.Fatalf("eviction not counted: %+v", st.ThinnerTotals)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, srv, _ := newTestFront(t, 5*time.Millisecond)
+	get(t, srv.URL+"/request?id=1")
+	code, body := get(t, srv.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, body)
+	}
+	if st.Served != 1 {
+		t.Fatalf("served = %d, want 1", st.Served)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, srv, _ := newTestFront(t, time.Millisecond)
+	if code, _ := get(t, srv.URL+"/request"); code != http.StatusBadRequest {
+		t.Fatalf("missing id -> %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/request?id=abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad id -> %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/nope?id=1"); code != http.StatusNotFound {
+		t.Fatalf("unknown path -> %d", code)
+	}
+	resp, _ := http.Get(srv.URL + "/pay?id=1")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /pay -> %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestManyConcurrentRequests(t *testing.T) {
+	_, srv, _ := newTestFront(t, 2*time.Millisecond)
+	var wg sync.WaitGroup
+	var served, busy int
+	var mu sync.Mutex
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _ := get(t, fmt.Sprintf("%s/request?id=%d", srv.URL, i+1))
+			mu.Lock()
+			defer mu.Unlock()
+			switch code {
+			case http.StatusOK:
+				served++
+			case http.StatusPaymentRequired:
+				busy++
+			}
+		}(i)
+	}
+	wg.Wait()
+	if served == 0 {
+		t.Fatal("nothing served")
+	}
+	if served+busy != 40 {
+		t.Fatalf("served=%d busy=%d, want total 40", served, busy)
+	}
+}

@@ -1,0 +1,156 @@
+// Package speakup is a from-scratch Go implementation of "DDoS Defense
+// by Offense" (Walfish, Vutukuru, Balakrishnan, Karger, Shenker —
+// SIGCOMM 2006): the speak-up defense against application-level DDoS,
+// in which a front-end (the thinner) encourages all clients of an
+// overloaded server to send dummy payment traffic and admits, each time
+// the server frees up, the request that has paid the most bytes. Since
+// attackers already saturate their uplinks and legitimate clients
+// don't, the server's capacity ends up divided in proportion to
+// clients' bandwidth — min(g, c·G/(G+B)) of it goes to the good
+// clients (paper §3).
+//
+// The package offers three entry points:
+//
+//   - Simulation: [Simulate] runs a complete deployment (clients,
+//     access links, bottlenecks, thinner, emulated server) inside a
+//     deterministic packet-level simulator and reports the paper's §7
+//     metrics. [Scenario] configures it; experiment presets for every
+//     figure live in internal/exp and are runnable via `go test
+//     -bench` or cmd/repro.
+//
+//   - Live front-end: [NewFront] builds the thinner as an
+//     http.Handler protecting any [Origin] over real sockets, exactly
+//     like the paper's §6 prototype. [NewEmulatedOrigin] provides the
+//     paper's emulated server.
+//
+//   - Core building blocks: [NewThinner] (the §3.3 virtual auction),
+//     [NewHeteroThinner] (the §5 quantum scheduler for unequal
+//     requests), [NewRandomDrop] (§3.2), and [NewPassThrough] (the
+//     no-defense baseline) — all transport-independent.
+package speakup
+
+import (
+	"net/http"
+
+	"speakup/internal/appsim"
+	"speakup/internal/core"
+	"speakup/internal/scenario"
+	"speakup/internal/web"
+)
+
+// Re-exported configuration and result types for simulations.
+type (
+	// Scenario describes one simulated deployment (see Simulate).
+	Scenario = scenario.Config
+	// ClientGroup describes a set of identical simulated clients.
+	ClientGroup = scenario.ClientGroup
+	// Bottleneck is a shared link between clients and the LAN (§7.6).
+	Bottleneck = scenario.Bottleneck
+	// Bystander adds the §7.7 web host sharing a bottleneck.
+	Bystander = scenario.Bystander
+	// Result aggregates a simulation's measurements.
+	Result = scenario.Result
+	// GroupResult aggregates one client group's measurements.
+	GroupResult = scenario.GroupResult
+)
+
+// Mode selects the front-end policy for simulations.
+type Mode = appsim.Mode
+
+// Front-end policies.
+const (
+	// ModeOff disables the defense (drop when busy) — the paper's OFF.
+	ModeOff = appsim.ModeOff
+	// ModeAuction is speak-up with the §3.3 payment channel.
+	ModeAuction = appsim.ModeAuction
+	// ModeRandomDrop is speak-up with §3.2 random drops and retries.
+	ModeRandomDrop = appsim.ModeRandomDrop
+	// ModeHetero is the §5 quantum auction for unequal requests.
+	ModeHetero = appsim.ModeHetero
+	// ModeProfiling is the §8.1 detect-and-block comparison baseline.
+	ModeProfiling = appsim.ModeProfiling
+)
+
+// Simulate runs a deployment for cfg.Duration of virtual time and
+// returns the aggregated results. Runs are deterministic in cfg.Seed.
+func Simulate(cfg Scenario) *Result { return scenario.Run(cfg) }
+
+// Core building blocks (transport-independent thinner policies).
+type (
+	// RequestID correlates a request with its payment channel.
+	RequestID = core.RequestID
+	// Clock abstracts time for the core state machines.
+	Clock = core.Clock
+	// Thinner is the §3.3 virtual-auction front-end state machine.
+	Thinner = core.Thinner
+	// ThinnerConfig tunes a Thinner.
+	ThinnerConfig = core.Config
+	// HeteroThinner is the §5 quantum scheduler.
+	HeteroThinner = core.HeteroThinner
+	// HeteroConfig tunes a HeteroThinner.
+	HeteroConfig = core.HeteroConfig
+	// RandomDrop is the §3.2 front-end.
+	RandomDrop = core.RandomDrop
+	// RandomDropConfig tunes a RandomDrop.
+	RandomDropConfig = core.RandomDropConfig
+	// PassThrough is the no-defense baseline front-end.
+	PassThrough = core.PassThrough
+	// Profiler is the §8.1 detect-and-block baseline front-end.
+	Profiler = core.Profiler
+	// ProfilerConfig tunes a Profiler.
+	ProfilerConfig = core.ProfilerConfig
+	// Address identifies a client for detect-and-block purposes.
+	Address = core.Address
+	// Ledger tracks contending requests' payment balances.
+	Ledger = core.Ledger
+)
+
+// NewThinner creates the §3.3 virtual-auction thinner on a clock.
+func NewThinner(clock Clock, cfg ThinnerConfig) *Thinner { return core.NewThinner(clock, cfg) }
+
+// NewHeteroThinner creates the §5 quantum scheduler on a clock.
+func NewHeteroThinner(clock Clock, cfg HeteroConfig) *HeteroThinner {
+	return core.NewHeteroThinner(clock, cfg)
+}
+
+// NewRandomDrop creates the §3.2 front-end on a clock.
+func NewRandomDrop(clock Clock, cfg RandomDropConfig) *RandomDrop {
+	return core.NewRandomDrop(clock, cfg)
+}
+
+// NewPassThrough creates the no-defense baseline front-end.
+func NewPassThrough() *PassThrough { return core.NewPassThrough() }
+
+// NewProfiler creates the §8.1 detect-and-block baseline on a clock.
+func NewProfiler(clock Clock, cfg ProfilerConfig) *Profiler { return core.NewProfiler(clock, cfg) }
+
+// NewLedger creates an empty payment ledger.
+func NewLedger() *Ledger { return core.NewLedger() }
+
+// Live (real-socket) front-end.
+type (
+	// Origin is a protected service behind the live thinner.
+	Origin = web.Origin
+	// OriginFunc adapts a function to Origin.
+	OriginFunc = web.OriginFunc
+	// Front is the live speak-up thinner (an http.Handler).
+	Front = web.Front
+	// FrontConfig tunes a Front.
+	FrontConfig = web.Config
+	// FrontStats is the /stats JSON shape.
+	FrontStats = web.Stats
+)
+
+// NewFront builds the live thinner protecting origin. Mount it on any
+// http server:
+//
+//	front := speakup.NewFront(origin, speakup.FrontConfig{})
+//	http.ListenAndServe(":8080", front)
+func NewFront(origin Origin, cfg FrontConfig) *Front { return web.NewFront(origin, cfg) }
+
+// NewEmulatedOrigin returns the paper's emulated server: one request
+// at a time, service time uniform in [0.9/c, 1.1/c].
+func NewEmulatedOrigin(capacity float64) Origin { return web.NewEmulatedOrigin(capacity) }
+
+// Handler is a convenience assertion that Front serves HTTP.
+var _ http.Handler = (*web.Front)(nil)
