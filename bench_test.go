@@ -22,6 +22,8 @@ import (
 	"speakup/internal/core"
 	"speakup/internal/exp"
 	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 	"speakup/internal/web"
 )
 
@@ -178,6 +180,45 @@ func BenchmarkAblationParallelConns(b *testing.B) {
 		b.ReportMetric(r.Points[3].SustainedShare, "sustainedShare(n=10)")
 	}
 }
+
+// --- sweep engine: serial vs parallel figure grids ---
+
+// sweepBenchGrid is a representative figure sweep: the §7.4 capacity
+// axis at reduced duration.
+func sweepBenchGrid() []sweep.Run {
+	var g sweep.Grid
+	for _, c := range []float64{50, 75, 100, 125, 150, 200} {
+		g.Add(fmt.Sprintf("bench/c=%g", c), scenario.Config{
+			Seed: 1, Duration: 20 * time.Second, Capacity: c,
+			Mode: ModeAuction,
+			Groups: []scenario.ClientGroup{
+				{Count: 10, Good: true},
+				{Count: 10, Good: false},
+			},
+		})
+	}
+	return g.Runs()
+}
+
+func benchmarkSweep(b *testing.B, workers int) {
+	grid := sweepBenchGrid()
+	for i := 0; i < b.N; i++ {
+		rs := sweep.Engine{Workers: workers}.Sweep(grid)
+		var events uint64
+		for _, r := range rs {
+			events += r.Result.Events
+		}
+		b.ReportMetric(float64(events), "events/op")
+	}
+}
+
+// BenchmarkSweepSerial is the baseline: one worker, like the
+// hand-rolled loops the experiments used before the sweep engine.
+func BenchmarkSweepSerial(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same grid across GOMAXPROCS workers;
+// on an N-core machine wall time drops roughly N-fold.
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
 
 // --- §7.1: thinner payment-sink capacity (real sockets) ---
 

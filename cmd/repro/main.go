@@ -7,6 +7,12 @@
 //	repro                        # all experiments at 60s virtual time
 //	repro -duration 600s         # paper scale (600s runs; takes minutes)
 //	repro -experiment fig2,fig9  # a subset
+//	repro -parallel 8            # 8 concurrent scenario runs per sweep
+//
+// Each experiment's figure sweep fans out across -parallel workers
+// (default GOMAXPROCS) via internal/sweep; results are bit-for-bit
+// identical to a serial run. Per-run progress goes to stderr; silence
+// it with -progress=false.
 //
 // Experiments: fig2 fig3 fig4 fig5 sec74 window fig6 fig7 fig8 fig9
 // variants theorem hetero postsize parconns sec81 flashcrowd. See
@@ -18,19 +24,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"speakup/internal/exp"
+	"speakup/internal/sweep"
 )
 
 func main() {
 	duration := flag.Duration("duration", 60*time.Second, "virtual time per run (paper: 600s)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	which := flag.String("experiment", "all", "comma-separated experiment list (or 'all')")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent scenario runs per sweep")
+	progress := flag.Bool("progress", true, "print per-run progress to stderr")
 	flag.Parse()
 
-	o := exp.Opts{Duration: *duration, Seed: *seed}
+	o := exp.Opts{Duration: *duration, Seed: *seed, Workers: *parallel}
+	if *progress {
+		o.Progress = func(done, total int, r sweep.Result) {
+			fmt.Fprintf(os.Stderr, "  [%2d/%2d] %-28s %7.2fs wall %10d events\n",
+				done, total, r.Name, r.Elapsed.Seconds(), r.Result.Events)
+		}
+	}
 	sel := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
 		sel[strings.TrimSpace(w)] = true

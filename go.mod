@@ -1,0 +1,3 @@
+module speakup
+
+go 1.24

@@ -4,14 +4,22 @@
 // runs them at paper scale (600 virtual seconds). Each experiment
 // returns typed data plus a rendered table whose rows match what the
 // paper's figure reports.
+//
+// Every experiment declares its scenario runs as a sweep.Grid and
+// executes them through the sweep engine, so a figure's independent
+// runs fan out across Opts.Workers goroutines. Results are read back
+// by grid index, which keeps every figure bit-for-bit identical to a
+// serial execution.
 package exp
 
 import (
+	"fmt"
 	"time"
 
 	"speakup/internal/appsim"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 )
 
 // Opts scales the experiments.
@@ -21,6 +29,12 @@ type Opts struct {
 	Duration time.Duration
 	// Seed makes runs reproducible. Defaults to 1.
 	Seed int64
+	// Workers is the number of scenario runs executed concurrently
+	// within each experiment (0 = GOMAXPROCS). Results do not depend
+	// on it.
+	Workers int
+	// Progress, if non-nil, observes every completed scenario run.
+	Progress sweep.Progress
 }
 
 func (o Opts) withDefaults() Opts {
@@ -31,6 +45,11 @@ func (o Opts) withDefaults() Opts {
 		o.Seed = 1
 	}
 	return o
+}
+
+// sweepGrid executes a grid with this Opts' parallelism and progress.
+func (o Opts) sweepGrid(g *sweep.Grid) []sweep.Result {
+	return sweep.Engine{Workers: o.Workers, Progress: o.Progress}.Sweep(g.Runs())
 }
 
 // equalMix returns the standard 50-client, 2 Mbit/s-per-client
@@ -71,18 +90,26 @@ func (r *Fig2Result) Table() *metrics.Table {
 // speak-up against the ideal proportional line.
 func Fig2(o Opts) *Fig2Result {
 	o = o.withDefaults()
-	res := &Fig2Result{}
-	for _, tenths := range []int{1, 3, 5, 7, 9} {
-		nGood := 5 * tenths // 50 clients: f=0.1 -> 5 good
-		f := float64(tenths) / 10
-		on := scenario.Run(scenario.Config{
+	tenths := []int{1, 3, 5, 7, 9}
+	var g sweep.Grid
+	type pair struct{ on, off int }
+	cells := make([]pair, len(tenths))
+	for i, t := range tenths {
+		nGood := 5 * t // 50 clients: f=0.1 -> 5 good
+		cells[i].on = g.Add(fmt.Sprintf("fig2/f=0.%d/on", t), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
 			Mode: appsim.ModeAuction, Groups: equalMix(nGood),
 		})
-		off := scenario.Run(scenario.Config{
+		cells[i].off = g.Add(fmt.Sprintf("fig2/f=0.%d/off", t), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
 			Mode: appsim.ModeOff, Groups: equalMix(nGood),
 		})
+	}
+	rs := o.sweepGrid(&g)
+	res := &Fig2Result{}
+	for i, t := range tenths {
+		f := float64(t) / 10
+		on, off := rs[cells[i].on].Result, rs[cells[i].off].Result
 		res.Points = append(res.Points, Fig2Point{
 			F: f, With: on.GoodAllocation, Without: off.GoodAllocation, Ideal: f,
 		})
@@ -117,16 +144,24 @@ type Fig345Result struct{ Points []Fig345Point }
 // c_id = 100.
 func Fig345(o Opts) *Fig345Result {
 	o = o.withDefaults()
-	res := &Fig345Result{}
-	for _, c := range []float64{50, 100, 200} {
-		on := scenario.Run(scenario.Config{
+	caps := []float64{50, 100, 200}
+	var g sweep.Grid
+	type pair struct{ on, off int }
+	cells := make([]pair, len(caps))
+	for i, c := range caps {
+		cells[i].on = g.Add(fmt.Sprintf("fig345/c=%g/on", c), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: c,
 			Mode: appsim.ModeAuction, Groups: equalMix(25),
 		})
-		off := scenario.Run(scenario.Config{
+		cells[i].off = g.Add(fmt.Sprintf("fig345/c=%g/off", c), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: c,
 			Mode: appsim.ModeOff, Groups: equalMix(25),
 		})
+	}
+	rs := o.sweepGrid(&g)
+	res := &Fig345Result{}
+	for i, c := range caps {
+		on, off := rs[cells[i].on].Result, rs[cells[i].off].Result
 		goodOn, badOn := &on.Groups[0], &on.Groups[1]
 		p := Fig345Point{
 			C:                 c,
@@ -220,11 +255,16 @@ func (r *Sec74Result) Table() *metrics.Table {
 func Sec74MinCapacity(o Opts) *Sec74Result {
 	o = o.withDefaults()
 	res := &Sec74Result{Threshold: 0.95, IdealCapacity: 100}
-	for _, c := range []float64{100, 105, 110, 115, 120, 130, 140} {
-		r := scenario.Run(scenario.Config{
+	caps := []float64{100, 105, 110, 115, 120, 130, 140}
+	var g sweep.Grid
+	for _, c := range caps {
+		g.Add(fmt.Sprintf("sec74/c=%g", c), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: c,
 			Mode: appsim.ModeAuction, Groups: equalMix(25),
 		})
+	}
+	for i, sr := range o.sweepGrid(&g) {
+		c, r := caps[i], sr.Result
 		res.Points = append(res.Points, Sec74Point{
 			C: c, FracGoodServed: r.FractionGoodServed, GoodAllocation: r.GoodAllocation,
 		})
@@ -261,17 +301,22 @@ func (r *Sec74WindowResult) Table() *metrics.Table {
 func Sec74WindowSweep(o Opts) *Sec74WindowResult {
 	o = o.withDefaults()
 	res := &Sec74WindowResult{}
-	for _, w := range []int{1, 5, 10, 20, 40, 60} {
-		groups := []scenario.ClientGroup{
-			{Name: "good", Count: 25, Good: true},
-			{Name: "bad", Count: 25, Good: false, Window: w},
-		}
-		r := scenario.Run(scenario.Config{
+	windows := []int{1, 5, 10, 20, 40, 60}
+	var g sweep.Grid
+	for _, w := range windows {
+		g.Add(fmt.Sprintf("window/w=%d", w), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode: appsim.ModeAuction, Groups: groups,
+			Mode: appsim.ModeAuction,
+			Groups: []scenario.ClientGroup{
+				{Name: "good", Count: 25, Good: true},
+				{Name: "bad", Count: 25, Good: false, Window: w},
+			},
 		})
+	}
+	for i, sr := range o.sweepGrid(&g) {
+		r := sr.Result
 		res.Points = append(res.Points, Sec74WindowPoint{
-			W: w, BadAllocation: 1 - r.GoodAllocation, GoodAllocation: r.GoodAllocation,
+			W: windows[i], BadAllocation: 1 - r.GoodAllocation, GoodAllocation: r.GoodAllocation,
 		})
 	}
 	return res

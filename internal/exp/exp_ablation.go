@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"time"
 
 	"speakup/internal/appsim"
@@ -8,6 +9,7 @@ import (
 	"speakup/internal/core"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 )
 
 // --- A1: §3.2 random-drop/retry variant vs §3.3 payment-channel auction ---
@@ -38,15 +40,19 @@ func (r *VariantsResult) Table() *metrics.Table {
 func Variants(o Opts) *VariantsResult {
 	o = o.withDefaults()
 	res := &VariantsResult{}
-	for _, mode := range []appsim.Mode{appsim.ModeOff, appsim.ModeRandomDrop, appsim.ModeAuction} {
-		r := scenario.Run(scenario.Config{
+	modes := []appsim.Mode{appsim.ModeOff, appsim.ModeRandomDrop, appsim.ModeAuction}
+	var g sweep.Grid
+	for _, mode := range modes {
+		g.Add("variants/"+mode.String(), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
 			Mode: mode, Groups: equalMix(25),
 		})
+	}
+	for i, sr := range o.sweepGrid(&g) {
 		res.Points = append(res.Points, VariantPoint{
-			Mode:           mode.String(),
-			GoodAllocation: r.GoodAllocation,
-			FracGoodServed: r.FractionGoodServed,
+			Mode:           modes[i].String(),
+			GoodAllocation: sr.Result.GoodAllocation,
+			FracGoodServed: sr.Result.FractionGoodServed,
 		})
 	}
 	return res
@@ -135,16 +141,19 @@ func Hetero(o Opts) *HeteroResult {
 		}
 	}
 	res := &HeteroResult{}
-	naive := scenario.Run(scenario.Config{
+	var g sweep.Grid
+	g.Add("hetero/naive", scenario.Config{
 		Seed: o.Seed, Duration: o.Duration, Capacity: 20,
 		Mode: appsim.ModeAuction, Groups: groups(),
 	})
-	quantum := scenario.Run(scenario.Config{
+	g.Add("hetero/quantum", scenario.Config{
 		Seed: o.Seed, Duration: o.Duration, Capacity: 20,
 		Mode:   appsim.ModeHetero,
 		Hetero: core.HeteroConfig{Tau: easy},
 		Groups: groups(),
 	})
+	rs := o.sweepGrid(&g)
+	naive, quantum := rs[0].Result, rs[1].Result
 	for _, c := range []struct {
 		name string
 		r    *scenario.Result
@@ -195,16 +204,20 @@ func (r *POSTSizeResult) Table() *metrics.Table {
 func POSTSize(o Opts) *POSTSizeResult {
 	o = o.withDefaults()
 	res := &POSTSizeResult{}
-	for _, post := range []int{64_000, 250_000, 1_000_000, 4_000_000} {
-		r := scenario.Run(scenario.Config{
+	posts := []int{64_000, 250_000, 1_000_000, 4_000_000}
+	var g sweep.Grid
+	for _, post := range posts {
+		g.Add(fmt.Sprintf("postsize/%dKB", post/1000), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
 			Mode:   appsim.ModeAuction,
 			Groups: equalMix(25),
 			Sizes:  appsim.Sizes{Post: post},
 		})
+	}
+	for i, sr := range o.sweepGrid(&g) {
 		res.Points = append(res.Points, POSTSizePoint{
-			PostBytes:      post,
-			GoodAllocation: r.GoodAllocation,
+			PostBytes:      posts[i],
+			GoodAllocation: sr.Result.GoodAllocation,
 		})
 	}
 	return res
@@ -254,8 +267,8 @@ func (r *ParallelConnsResult) Table() *metrics.Table {
 func ParallelConns(o Opts) *ParallelConnsResult {
 	o = o.withDefaults()
 	res := &ParallelConnsResult{}
-	run := func(gamer scenario.ClientGroup) float64 {
-		r := scenario.Run(scenario.Config{
+	cfg := func(gamer scenario.ClientGroup) scenario.Config {
+		return scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 2,
 			Mode:        appsim.ModeAuction,
 			Bottlenecks: []scenario.Bottleneck{{Rate: 2e6, Delay: time.Millisecond}},
@@ -266,25 +279,36 @@ func ParallelConns(o Opts) *ParallelConnsResult {
 				gamer,
 				{Name: "direct-good", Count: 1, Good: true, Lambda: 10, Window: 1},
 			},
-		})
+		}
+	}
+	share := func(r *scenario.Result) float64 {
 		g, b := r.Groups[0].Served, r.Groups[1].Served
 		if g+b == 0 {
 			return 0
 		}
 		return float64(b) / float64(g+b)
 	}
-	for _, n := range []int{1, 2, 5, 10} {
+	ns := []int{1, 2, 5, 10}
+	var grid sweep.Grid
+	type pair struct{ ephemeral, sustained int }
+	cells := make([]pair, len(ns))
+	for i, n := range ns {
+		cells[i].ephemeral = grid.Add(fmt.Sprintf("parconns/n=%d/ephemeral", n), cfg(scenario.ClientGroup{
+			Name: "bn-gamer", Count: 1, Good: false, Bottleneck: 1,
+			Lambda: 10, Window: 1, PayConns: n, Bandwidth: 10e6,
+		}))
+		cells[i].sustained = grid.Add(fmt.Sprintf("parconns/n=%d/sustained", n), cfg(scenario.ClientGroup{
+			Name: "bn-gamer", Count: 1, Good: false, Bottleneck: 1,
+			Lambda: 40, Window: n, Bandwidth: 10e6,
+		}))
+	}
+	rs := o.sweepGrid(&grid)
+	for i, n := range ns {
 		res.Points = append(res.Points, ParallelConnsPoint{
-			N: n,
-			EphemeralShare: run(scenario.ClientGroup{
-				Name: "bn-gamer", Count: 1, Good: false, Bottleneck: 1,
-				Lambda: 10, Window: 1, PayConns: n, Bandwidth: 10e6,
-			}),
-			SustainedShare: run(scenario.ClientGroup{
-				Name: "bn-gamer", Count: 1, Good: false, Bottleneck: 1,
-				Lambda: 40, Window: n, Bandwidth: 10e6,
-			}),
-			Prediction: float64(n) / float64(n+1),
+			N:              n,
+			EphemeralShare: share(rs[cells[i].ephemeral].Result),
+			SustainedShare: share(rs[cells[i].sustained].Result),
+			Prediction:     float64(n) / float64(n+1),
 		})
 	}
 	return res

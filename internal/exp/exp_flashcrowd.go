@@ -4,6 +4,7 @@ import (
 	"speakup/internal/appsim"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 )
 
 // FlashCrowdPoint is one defense's outcome under an all-good overload.
@@ -41,17 +42,21 @@ func (r *FlashCrowdResult) Table() *metrics.Table {
 func FlashCrowd(o Opts) *FlashCrowdResult {
 	o = o.withDefaults()
 	res := &FlashCrowdResult{}
-	for _, mode := range []appsim.Mode{appsim.ModeOff, appsim.ModeAuction} {
-		r := scenario.Run(scenario.Config{
+	modes := []appsim.Mode{appsim.ModeOff, appsim.ModeAuction}
+	var grid sweep.Grid
+	for _, mode := range modes {
+		grid.Add("flashcrowd/"+mode.String(), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
 			Mode: mode,
 			Groups: []scenario.ClientGroup{
 				{Name: "crowd", Count: 50, Good: true, Lambda: 10, Window: 2},
 			},
 		})
-		g := &r.Groups[0]
+	}
+	for i, sr := range o.sweepGrid(&grid) {
+		g := &sr.Result.Groups[0]
 		res.Points = append(res.Points, FlashCrowdPoint{
-			Mode:           mode.String(),
+			Mode:           modes[i].String(),
 			FracServed:     g.FractionServed(),
 			MeanLatencySec: g.Latencies.Mean(),
 			MeanPriceKB:    g.Prices.Mean() / 1000,

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"fmt"
 	"time"
 
 	"speakup/internal/appsim"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 )
 
 // --- Figure 6: heterogeneous client bandwidth ---
@@ -44,10 +46,12 @@ func Fig6(o Opts) *Fig6Result {
 			Name: categoryName(i), Count: 10, Good: true, Bandwidth: bw,
 		})
 	}
-	r := scenario.Run(scenario.Config{
+	var grid sweep.Grid
+	grid.Add("fig6/heterogeneous-bw", scenario.Config{
 		Seed: o.Seed, Duration: o.Duration, Capacity: 10,
 		Mode: appsim.ModeAuction, Groups: groups,
 	})
+	r := o.sweepGrid(&grid)[0].Result
 	var served uint64
 	for _, g := range r.Groups {
 		served += g.Served
@@ -100,30 +104,30 @@ func (r *Fig7Result) Table() *metrics.Table {
 // client-thinner RTT = 100·i ms, all-good and all-bad runs, c=10.
 func Fig7(o Opts) *Fig7Result {
 	o = o.withDefaults()
-	run := func(good bool) *scenario.Result {
+	cfg := func(good bool) scenario.Config {
 		var groups []scenario.ClientGroup
 		for i := 1; i <= 5; i++ {
 			// One-way access delay of 50·i ms gives an RTT of ~100·i ms.
-			g := scenario.ClientGroup{
+			// The paper's good clients in this experiment still use λ=2,
+			// w=1; demand must exceed c=10, and 50 clients at λ=2 offer
+			// 100 req/s.
+			groups = append(groups, scenario.ClientGroup{
 				Name:      categoryName(i),
 				Count:     10,
 				Good:      good,
 				LinkDelay: time.Duration(i) * 50 * time.Millisecond,
-			}
-			if good {
-				// The paper's good clients in this experiment still use
-				// λ=2, w=1; demand must exceed c=10, and 50 clients at
-				// λ=2 offer 100 req/s.
-			}
-			groups = append(groups, g)
+			})
 		}
-		return scenario.Run(scenario.Config{
+		return scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 10,
 			Mode: appsim.ModeAuction, Groups: groups,
-		})
+		}
 	}
-	allGood := run(true)
-	allBad := run(false)
+	var grid sweep.Grid
+	grid.Add("fig7/all-good", cfg(true))
+	grid.Add("fig7/all-bad", cfg(false))
+	rs := o.sweepGrid(&grid)
+	allGood, allBad := rs[0].Result, rs[1].Result
 	res := &Fig7Result{}
 	totalG, totalB := allGood.ServedGood, allBad.ServedBad
 	for i := 0; i < 5; i++ {
@@ -196,9 +200,11 @@ func itoa(n int) string {
 func Fig8(o Opts) *Fig8Result {
 	o = o.withDefaults()
 	res := &Fig8Result{}
-	for _, split := range [][2]int{{5, 25}, {15, 15}, {25, 5}} {
+	splits := [][2]int{{5, 25}, {15, 15}, {25, 5}}
+	var grid sweep.Grid
+	for _, split := range splits {
 		ng, nb := split[0], split[1]
-		r := scenario.Run(scenario.Config{
+		grid.Add("fig8/"+formatSplit(ng, nb), scenario.Config{
 			Seed: o.Seed, Duration: o.Duration, Capacity: 50,
 			Mode:        appsim.ModeAuction,
 			Bottlenecks: []scenario.Bottleneck{{Rate: 40e6, Delay: 250 * time.Microsecond}},
@@ -209,6 +215,10 @@ func Fig8(o Opts) *Fig8Result {
 				{Name: "direct-bad", Count: 10, Good: false},
 			},
 		})
+	}
+	for i, sr := range o.sweepGrid(&grid) {
+		ng, nb := splits[i][0], splits[i][1]
+		r := sr.Result
 		bnGood, bnBad := &r.Groups[0], &r.Groups[1]
 		bnServed := bnGood.Served + bnBad.Served
 		p := Fig8Point{
@@ -273,9 +283,13 @@ func (r *Fig9Result) Table() *metrics.Table {
 func Fig9(o Opts) *Fig9Result {
 	o = o.withDefaults()
 	res := &Fig9Result{}
-	for _, sizeKB := range []int{1, 4, 16, 64, 128} {
-		run := func(mode appsim.Mode) *scenario.Result {
-			return scenario.Run(scenario.Config{
+	sizes := []int{1, 4, 16, 64, 128}
+	var grid sweep.Grid
+	type pair struct{ with, without int }
+	cells := make([]pair, len(sizes))
+	for i, sizeKB := range sizes {
+		cfg := func(mode appsim.Mode) scenario.Config {
+			return scenario.Config{
 				Seed: o.Seed, Duration: o.Duration, Capacity: 2,
 				Mode:        mode,
 				Bottlenecks: []scenario.Bottleneck{{Rate: 1e6, Delay: 100 * time.Millisecond}},
@@ -283,10 +297,14 @@ func Fig9(o Opts) *Fig9Result {
 					{Name: "bn-good", Count: 10, Good: true, Bottleneck: 1},
 				},
 				BystanderH: &scenario.Bystander{FileSize: sizeKB * 1000, MaxDownloads: 100},
-			})
+			}
 		}
-		with := run(appsim.ModeAuction)
-		without := run(appsim.ModeOff)
+		cells[i].with = grid.Add(fmt.Sprintf("fig9/%dKB/on", sizeKB), cfg(appsim.ModeAuction))
+		cells[i].without = grid.Add(fmt.Sprintf("fig9/%dKB/off", sizeKB), cfg(appsim.ModeOff))
+	}
+	rs := o.sweepGrid(&grid)
+	for i, sizeKB := range sizes {
+		with, without := rs[cells[i].with].Result, rs[cells[i].without].Result
 		p := Fig9Point{
 			SizeKB:         sizeKB,
 			WithSpeakup:    with.BystanderLatencies.Mean(),

@@ -5,6 +5,7 @@ import (
 	"speakup/internal/core"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 )
 
 // Sec81Point is one (defense, bot type) cell of the §8.1 comparison.
@@ -62,21 +63,27 @@ func Sec81SmartBots(o Opts) *Sec81Result {
 		{"speak-up", appsim.ModeAuction},
 		{"none", appsim.ModeOff},
 	}
+	type cell struct{ defense, bots string }
+	var cells []cell
+	var g sweep.Grid
 	for _, bots := range []string{"dumb (λ=40)", "smart (λ=6)"} {
 		for _, d := range defenses {
-			r := scenario.Run(scenario.Config{
+			g.Add("sec81/"+d.name+"/"+bots, scenario.Config{
 				Seed: o.Seed, Duration: o.Duration, Capacity: 100,
 				Mode:     d.mode,
 				Groups:   botGroups[bots],
 				Profiler: core.ProfilerConfig{BaselineRate: 2, Slack: 3},
 			})
-			res.Points = append(res.Points, Sec81Point{
-				Defense:        d.name,
-				Bots:           bots,
-				GoodAllocation: r.GoodAllocation,
-				FracGoodServed: r.FractionGoodServed,
-			})
+			cells = append(cells, cell{defense: d.name, bots: bots})
 		}
+	}
+	for i, sr := range o.sweepGrid(&g) {
+		res.Points = append(res.Points, Sec81Point{
+			Defense:        cells[i].defense,
+			Bots:           cells[i].bots,
+			GoodAllocation: sr.Result.GoodAllocation,
+			FracGoodServed: sr.Result.FractionGoodServed,
+		})
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -10,7 +11,47 @@ import (
 // benchmarks and cmd/repro run longer versions.
 var short = Opts{Duration: 25 * time.Second, Seed: 1}
 
+// skipIfShort guards the full-figure experiments: each runs tens of
+// virtual seconds across many scenario cells. `go test -short` keeps
+// only the fast smoke tests below.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-figure experiment; skipped with -short")
+	}
+}
+
+// TestSmokeVariants keeps the package exercised under -short: a tiny
+// three-cell sweep through the engine must still rank the defenses.
+func TestSmokeVariants(t *testing.T) {
+	r := Variants(Opts{Duration: 5 * time.Second, Seed: 1})
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.Points[2].GoodAllocation <= r.Points[0].GoodAllocation {
+		t.Errorf("auction (%.3f) should beat OFF (%.3f) even in a smoke run",
+			r.Points[2].GoodAllocation, r.Points[0].GoodAllocation)
+	}
+}
+
+// TestWorkersDoNotChangeResults reruns an experiment serially and with
+// 8 workers: the figure data must be identical. This is the
+// experiment-level counterpart of the sweep engine's determinism test.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	o := Opts{Duration: 5 * time.Second, Seed: 3}
+	serialOpts, parallelOpts := o, o
+	serialOpts.Workers = 1
+	parallelOpts.Workers = 8
+	serial := Fig2(serialOpts)
+	parallel := Fig2(parallelOpts)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Fig2 differs by worker count:\nserial:   %+v\nparallel: %+v",
+			serial.Points, parallel.Points)
+	}
+}
+
 func TestFig2Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Fig2(short)
 	if len(r.Points) != 5 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -35,6 +76,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig345Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Fig345(short)
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -69,6 +111,7 @@ func TestFig345Shape(t *testing.T) {
 }
 
 func TestSec74Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Sec74MinCapacity(Opts{Duration: 20 * time.Second, Seed: 1})
 	if len(r.Points) != 7 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -88,6 +131,7 @@ func TestSec74Shape(t *testing.T) {
 }
 
 func TestSec74WindowShape(t *testing.T) {
+	skipIfShort(t)
 	r := Sec74WindowSweep(Opts{Duration: 20 * time.Second, Seed: 1})
 	if len(r.Points) != 6 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -102,6 +146,7 @@ func TestSec74WindowShape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Fig6(short)
 	if len(r.Points) != 5 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -120,6 +165,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	skipIfShort(t)
 	// RTTs up to 500ms need a longer run than the other shapes: at ~1s
 	// effective RTT a 25s run is all slow-start transient.
 	r := Fig7(Opts{Duration: 100 * time.Second, Seed: 1})
@@ -139,6 +185,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Fig8(short)
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -158,6 +205,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	skipIfShort(t)
 	r := Fig9(Opts{Duration: 30 * time.Second, Seed: 1})
 	if len(r.Points) != 5 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -176,6 +224,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestVariantsShape(t *testing.T) {
+	skipIfShort(t)
 	r := Variants(short)
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -190,6 +239,7 @@ func TestVariantsShape(t *testing.T) {
 }
 
 func TestTheorem31AllHold(t *testing.T) {
+	skipIfShort(t)
 	r := Theorem31(short)
 	for _, p := range r.Points {
 		if !p.Holds {
@@ -199,6 +249,7 @@ func TestTheorem31AllHold(t *testing.T) {
 }
 
 func TestHeteroQuantumBeatsNaive(t *testing.T) {
+	skipIfShort(t)
 	r := Hetero(Opts{Duration: 40 * time.Second, Seed: 1})
 	naive, quantum := r.Points[0], r.Points[1]
 	if quantum.GoodWorkShare <= naive.GoodWorkShare {
@@ -208,6 +259,7 @@ func TestHeteroQuantumBeatsNaive(t *testing.T) {
 }
 
 func TestPOSTSizeSweepRuns(t *testing.T) {
+	skipIfShort(t)
 	r := POSTSize(Opts{Duration: 20 * time.Second, Seed: 1})
 	if len(r.Points) != 4 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -220,6 +272,7 @@ func TestPOSTSizeSweepRuns(t *testing.T) {
 }
 
 func TestParallelConnsShape(t *testing.T) {
+	skipIfShort(t)
 	r := ParallelConns(Opts{Duration: 30 * time.Second, Seed: 1})
 	if len(r.Points) != 4 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -235,6 +288,7 @@ func TestParallelConnsShape(t *testing.T) {
 }
 
 func TestSec81ProfilingVsSpeakup(t *testing.T) {
+	skipIfShort(t)
 	r := Sec81SmartBots(short)
 	if len(r.Points) != 6 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -271,6 +325,7 @@ func TestSec81ProfilingVsSpeakup(t *testing.T) {
 }
 
 func TestFlashCrowdShape(t *testing.T) {
+	skipIfShort(t)
 	r := FlashCrowd(short)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))

@@ -111,6 +111,9 @@ func (r readerOnly) Read(p []byte) (int, error) { return r.r.Read(p) }
 // HTTP: one good and one bad client against an overloaded origin. The
 // good client, with equal bandwidth, must get a decent share.
 func TestEndToEndGoodVsBad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5s live-socket attack; skipped with -short")
+	}
 	origin := web.NewEmulatedOrigin(10)
 	front := web.NewFront(origin, web.Config{
 		PayPollInterval: 10 * time.Millisecond,

@@ -154,15 +154,45 @@ func (c Config) withDefaults() Config {
 	if c.AccessQueue == 0 {
 		c.AccessQueue = 100 * 1500
 	}
+	// Copy before defaulting: callers may hand the same Groups,
+	// Bottlenecks, or BystanderH to several Configs (sweep grids do),
+	// and concurrent Runs must not write defaults into shared memory.
+	c.Groups = append([]ClientGroup(nil), c.Groups...)
 	for i := range c.Groups {
 		c.Groups[i] = c.Groups[i].withDefaults(i)
 	}
+	c.Bottlenecks = append([]Bottleneck(nil), c.Bottlenecks...)
 	for i := range c.Bottlenecks {
 		if c.Bottlenecks[i].QueueBytes == 0 {
 			c.Bottlenecks[i].QueueBytes = 50 * 1500
 		}
 	}
+	if c.BystanderH != nil {
+		b := *c.BystanderH
+		c.BystanderH = &b
+	}
 	return c
+}
+
+// Validate reports configuration errors that Run would otherwise hit
+// as panics deep inside topology construction: a non-positive server
+// capacity, group bottleneck references out of range, and a bystander
+// without a bottleneck to share. The sweep engine validates every grid
+// cell before fanning work out to its workers.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("scenario: Capacity must be positive, got %g", c.Capacity)
+	}
+	for _, g := range c.Groups {
+		if g.Bottleneck < 0 || g.Bottleneck > len(c.Bottlenecks) {
+			return fmt.Errorf("scenario: group %q references bottleneck %d, have %d",
+				g.Name, g.Bottleneck, len(c.Bottlenecks))
+		}
+	}
+	if c.BystanderH != nil && len(c.Bottlenecks) == 0 {
+		return fmt.Errorf("scenario: BystanderH requires a bottleneck")
+	}
+	return nil
 }
 
 // GroupResult aggregates one group's outcomes.
@@ -222,9 +252,13 @@ type Result struct {
 }
 
 // Run builds the deployment, simulates it for cfg.Duration, and
-// returns aggregated results.
+// returns aggregated results. It panics on configurations Validate
+// rejects.
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	loop := sim.NewLoop(cfg.Seed)
 	n := netsim.New(loop)
 	clock := simclock.New(loop)
@@ -259,9 +293,6 @@ func Run(cfg Config) *Result {
 
 	var webNode, bystanderNode netsim.NodeID
 	if cfg.BystanderH != nil {
-		if len(cfg.Bottlenecks) == 0 {
-			panic("scenario: BystanderH requires a bottleneck")
-		}
 		b := cfg.BystanderH
 		if b.Bandwidth == 0 {
 			b.Bandwidth = 2e6

@@ -202,6 +202,9 @@ func TestPricesReportedUnderOverload(t *testing.T) {
 }
 
 func TestRandomDropModeAlsoProtects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("45s-virtual random-drop run; skipped with -short")
+	}
 	res := Run(Config{Seed: 11, Duration: 45 * time.Second, Capacity: 20,
 		Mode: appsim.ModeRandomDrop, Groups: mix(5, 5)})
 	// §3.2 should also produce a large good share (price r = (B+G)/c

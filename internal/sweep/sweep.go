@@ -1,0 +1,168 @@
+// Package sweep fans grids of scenario configurations across a worker
+// pool. Every figure in the paper's evaluation is a sweep: the same
+// deployment re-run over a parameter axis (capacity, window, file
+// size, client mix). Each scenario.Run is an independent,
+// deterministic, seed-keyed computation, so a grid is embarrassingly
+// parallel: the engine hands cells to GOMAXPROCS workers and collects
+// results keyed by grid index, producing bit-for-bit the same output
+// slice whether it ran on one worker or many.
+//
+// Experiment drivers (internal/exp) declare their runs with a Grid,
+// execute them with an Engine, and read results back by the indices
+// Grid.Add returned. cmd/repro exposes the worker count as -parallel
+// and wires Engine.Progress to live per-run output.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+)
+
+// Run is one cell of a sweep grid: a named scenario configuration.
+type Run struct {
+	// Name labels the cell in progress output and summary tables,
+	// e.g. "fig2/f=0.5/on".
+	Name   string
+	Config scenario.Config
+}
+
+// Result pairs a grid cell with its completed scenario run.
+type Result struct {
+	// Index is the cell's position in the grid; the engine returns
+	// results ordered by it.
+	Index int
+	// Name echoes the cell's label.
+	Name string
+	// Result is the completed scenario run.
+	Result *scenario.Result
+	// Elapsed is the wall-clock time this cell took.
+	Elapsed time.Duration
+}
+
+// Progress observes completed runs: done cells so far out of total,
+// and the result that just finished. The engine serializes calls, but
+// they arrive in completion order, not grid order.
+type Progress func(done, total int, r Result)
+
+// Grid accumulates the cells of a sweep. The zero value is ready to
+// use. Drivers record the index Add returns and use it to read the
+// matching Result back after the sweep.
+type Grid struct {
+	runs []Run
+}
+
+// Add appends a named configuration and returns its grid index.
+func (g *Grid) Add(name string, cfg scenario.Config) int {
+	g.runs = append(g.runs, Run{Name: name, Config: cfg})
+	return len(g.runs) - 1
+}
+
+// Len returns the number of cells.
+func (g *Grid) Len() int { return len(g.runs) }
+
+// Runs returns the accumulated cells in insertion order.
+func (g *Grid) Runs() []Run { return g.runs }
+
+// Engine executes sweep grids over a bounded worker pool.
+type Engine struct {
+	// Workers is the number of concurrent scenario runs. <= 0 means
+	// runtime.GOMAXPROCS(0); 1 degenerates to a serial sweep.
+	Workers int
+	// Progress, if non-nil, is called after each run completes.
+	Progress Progress
+}
+
+// Sweep runs every cell of the grid and returns results ordered by
+// grid index. Each cell is seeded by its own Config.Seed and shares no
+// state with its neighbors, so the returned slice is identical for any
+// worker count.
+func (e Engine) Sweep(grid []Run) []Result {
+	results := make([]Result, len(grid))
+	if len(grid) == 0 {
+		return results
+	}
+	// Reject bad cells before any worker starts: a panic inside a
+	// worker goroutine would crash the process without saying which
+	// cell was at fault.
+	for _, r := range grid {
+		if err := r.Config.Validate(); err != nil {
+			panic(fmt.Sprintf("sweep: cell %q: %v", r.Name, err))
+		}
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards done + Progress calls
+		done int
+	)
+	cells := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range cells {
+				start := time.Now()
+				r := scenario.Run(grid[i].Config)
+				results[i] = Result{
+					Index:   i,
+					Name:    grid[i].Name,
+					Result:  r,
+					Elapsed: time.Since(start),
+				}
+				if e.Progress != nil {
+					mu.Lock()
+					done++
+					e.Progress(done, len(grid), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range grid {
+		cells <- i
+	}
+	close(cells)
+	wg.Wait()
+	return results
+}
+
+// Sweep runs the grid with default (GOMAXPROCS) parallelism.
+func (g *Grid) Sweep() []Result { return Engine{}.Sweep(g.runs) }
+
+// Summary renders an aggregate table of a completed sweep: one row per
+// cell (events processed, headline allocations, per-cell wall time)
+// plus a totals row. The totals row sums per-cell wall time — the
+// compute the sweep burned, which exceeds real elapsed time when cells
+// ran in parallel. It is the engine's generic report; figure-specific
+// tables stay with their experiments.
+func Summary(title string, rs []Result) *metrics.Table {
+	t := metrics.NewTable(title,
+		"run", "events", "served good", "served bad", "good alloc", "cell wall (s)")
+	var (
+		events    uint64
+		good, bad uint64
+		cpu       time.Duration
+	)
+	for _, r := range rs {
+		t.AddRow(r.Name, r.Result.Events, r.Result.ServedGood, r.Result.ServedBad,
+			r.Result.GoodAllocation, r.Elapsed.Seconds())
+		events += r.Result.Events
+		good += r.Result.ServedGood
+		bad += r.Result.ServedBad
+		cpu += r.Elapsed
+	}
+	t.AddRow("total", events, good, bad, "", cpu.Seconds())
+	return t
+}

@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"speakup/internal/appsim"
+	"speakup/internal/scenario"
+)
+
+// testGrid builds a small but non-trivial grid: two modes crossed with
+// two capacities, short runs so the suite stays fast even under -race.
+func testGrid() []Run {
+	var g Grid
+	for _, mode := range []appsim.Mode{appsim.ModeAuction, appsim.ModeOff} {
+		for _, c := range []float64{10, 20} {
+			g.Add(fmt.Sprintf("%s/c=%g", mode, c), scenario.Config{
+				Seed: 7, Duration: 5 * time.Second, Capacity: c,
+				Mode: mode,
+				Groups: []scenario.ClientGroup{
+					{Count: 3, Good: true},
+					{Count: 3, Good: false},
+				},
+			})
+		}
+	}
+	return g.Runs()
+}
+
+// stripElapsed zeroes the wall-clock field, the only part of a Result
+// that legitimately differs between executions of the same grid.
+func stripElapsed(rs []Result) []Result {
+	out := make([]Result, len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := testGrid()
+	serial := stripElapsed(Engine{Workers: 1}.Sweep(grid))
+	parallel := stripElapsed(Engine{Workers: 8}.Sweep(grid))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("1-worker and 8-worker sweeps differ:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	// And both must differ from nothing: the runs actually served work.
+	for i, r := range serial {
+		if r.Result == nil || r.Result.Events == 0 {
+			t.Fatalf("cell %d (%s) ran no events", i, r.Name)
+		}
+	}
+}
+
+func TestSweepOrderedByGridIndex(t *testing.T) {
+	grid := testGrid()
+	rs := Engine{Workers: 4}.Sweep(grid)
+	if len(rs) != len(grid) {
+		t.Fatalf("got %d results for %d cells", len(rs), len(grid))
+	}
+	for i, r := range rs {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if r.Name != grid[i].Name {
+			t.Errorf("result %d named %q, want %q", i, r.Name, grid[i].Name)
+		}
+	}
+}
+
+func TestSweepProgressCountsEveryCell(t *testing.T) {
+	grid := testGrid()
+	var mu sync.Mutex
+	var dones []int
+	seen := map[string]bool{}
+	e := Engine{Workers: 4, Progress: func(done, total int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != len(grid) {
+			t.Errorf("total = %d, want %d", total, len(grid))
+		}
+		dones = append(dones, done)
+		seen[r.Name] = true
+	}}
+	e.Sweep(grid)
+	if len(dones) != len(grid) {
+		t.Fatalf("progress called %d times, want %d", len(dones), len(grid))
+	}
+	// done is a monotonically increasing 1..n counter: the engine
+	// serializes progress calls.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence %v not 1..%d", dones, len(grid))
+		}
+	}
+	for _, r := range grid {
+		if !seen[r.Name] {
+			t.Errorf("no progress call for %q", r.Name)
+		}
+	}
+}
+
+// TestSweepSharedConfigSlices is the regression test for the
+// shared-backing-array race: several cells legitimately reference the
+// same Groups slice (exp.Sec81SmartBots does), and scenario.Run must
+// apply defaults to private copies rather than writing into the
+// shared memory concurrently. Run under -race this fails loudly if
+// that copy is ever removed.
+func TestSweepSharedConfigSlices(t *testing.T) {
+	shared := []scenario.ClientGroup{
+		{Count: 2, Good: true},
+		{Count: 2, Good: false},
+	}
+	bottlenecks := []scenario.Bottleneck{{Rate: 2e6, Delay: time.Millisecond}}
+	var g Grid
+	for _, c := range []float64{10, 20, 30} {
+		g.Add(fmt.Sprintf("shared/c=%g", c), scenario.Config{
+			Seed: 5, Duration: 5 * time.Second, Capacity: c,
+			Mode: appsim.ModeAuction, Groups: shared, Bottlenecks: bottlenecks,
+		})
+	}
+	serial := stripElapsed(Engine{Workers: 1}.Sweep(g.Runs()))
+	parallel := stripElapsed(Engine{Workers: 8}.Sweep(g.Runs()))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("sweeps over shared config slices differ by worker count")
+	}
+	// Defaults must not leak back into the caller's slices.
+	if shared[0].Bandwidth != 0 || shared[0].Lambda != 0 || shared[0].Name != "" {
+		t.Fatalf("Run wrote defaults into the caller's shared Groups slice: %+v", shared[0])
+	}
+	if bottlenecks[0].QueueBytes != 0 {
+		t.Fatalf("Run wrote defaults into the caller's Bottlenecks slice: %+v", bottlenecks[0])
+	}
+}
+
+func TestSweepEmptyGrid(t *testing.T) {
+	if rs := (Engine{}).Sweep(nil); len(rs) != 0 {
+		t.Fatalf("empty grid returned %d results", len(rs))
+	}
+}
+
+func TestSweepRejectsInvalidCell(t *testing.T) {
+	var g Grid
+	g.Add("bad-cell", scenario.Config{ // no Capacity
+		Seed: 1, Duration: time.Second,
+		Groups: []scenario.ClientGroup{{Count: 1, Good: true}},
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("invalid cell did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "bad-cell") {
+			t.Fatalf("panic %v does not name the cell", r)
+		}
+	}()
+	g.Sweep()
+}
+
+func TestGridAddReturnsIndices(t *testing.T) {
+	var g Grid
+	cfg := scenario.Config{Capacity: 1}
+	if i := g.Add("a", cfg); i != 0 {
+		t.Fatalf("first index = %d", i)
+	}
+	if i := g.Add("b", cfg); i != 1 {
+		t.Fatalf("second index = %d", i)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	grid := testGrid()
+	rs := Engine{Workers: 2}.Sweep(grid)
+	tab := Summary("sweep summary", rs).String()
+	for _, r := range rs {
+		if !strings.Contains(tab, r.Name) {
+			t.Errorf("summary missing row for %q:\n%s", r.Name, tab)
+		}
+	}
+	if !strings.Contains(tab, "total") {
+		t.Errorf("summary missing totals row:\n%s", tab)
+	}
+}

@@ -164,6 +164,9 @@ func TestPayReplyAdmitted(t *testing.T) {
 }
 
 func TestCompletedPOSTGetsContinue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time origin-busy wait; skipped with -short")
+	}
 	_, srv, _ := newTestFront(t, 800*time.Millisecond) // origin stays busy
 	go http.Get(srv.URL + "/request?id=1")
 	time.Sleep(30 * time.Millisecond)
@@ -183,6 +186,9 @@ func TestCompletedPOSTGetsContinue(t *testing.T) {
 }
 
 func TestOrphanPaymentEvicted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the real-time orphan timeout; skipped with -short")
+	}
 	front, srv, _ := newTestFront(t, 1500*time.Millisecond) // busy past the orphan timeout
 	go http.Get(srv.URL + "/request?id=1")
 	time.Sleep(30 * time.Millisecond)

@@ -30,11 +30,13 @@
 package speakup
 
 import (
+	"fmt"
 	"net/http"
 
 	"speakup/internal/appsim"
 	"speakup/internal/core"
 	"speakup/internal/scenario"
+	"speakup/internal/sweep"
 	"speakup/internal/web"
 )
 
@@ -74,6 +76,27 @@ const (
 // Simulate runs a deployment for cfg.Duration of virtual time and
 // returns the aggregated results. Runs are deterministic in cfg.Seed.
 func Simulate(cfg Scenario) *Result { return scenario.Run(cfg) }
+
+// Parallel experiment sweeps. A SweepGrid collects named Scenarios; a
+// SweepEngine fans them across a worker pool and returns results
+// ordered by grid index, bit-for-bit identical to a serial run.
+type (
+	// SweepGrid accumulates the cells of a parameter sweep.
+	SweepGrid = sweep.Grid
+	// SweepRun is one named cell of a sweep grid.
+	SweepRun = sweep.Run
+	// SweepResult pairs a cell with its completed simulation.
+	SweepResult = sweep.Result
+	// SweepEngine executes grids over a bounded worker pool.
+	SweepEngine = sweep.Engine
+	// SweepProgress observes each completed run of a sweep.
+	SweepProgress = sweep.Progress
+)
+
+// SweepSummary renders an aggregate table of a completed sweep.
+func SweepSummary(title string, rs []SweepResult) fmt.Stringer {
+	return sweep.Summary(title, rs)
+}
 
 // Core building blocks (transport-independent thinner policies).
 type (

@@ -41,6 +41,29 @@ func TestSimulateModesDiffer(t *testing.T) {
 	}
 }
 
+func TestSweepPublicAPI(t *testing.T) {
+	var g SweepGrid
+	for _, seed := range []int64{1, 2, 3, 4} {
+		g.Add("seed", Scenario{
+			Seed: seed, Duration: 5 * time.Second, Capacity: 20,
+			Mode:   ModeAuction,
+			Groups: []ClientGroup{{Count: 2, Good: true}, {Count: 2, Good: false}},
+		})
+	}
+	rs := SweepEngine{Workers: 4}.Sweep(g.Runs())
+	if len(rs) != 4 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Index != i || r.Result == nil || r.Result.Events == 0 {
+			t.Fatalf("cell %d malformed: %+v", i, r)
+		}
+	}
+	if SweepSummary("t", rs).String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
 func TestLiveFrontPublicAPI(t *testing.T) {
 	served := 0
 	origin := OriginFunc(func(id RequestID) ([]byte, error) {
