@@ -23,6 +23,7 @@ import (
 	"speakup/internal/exp"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/sim"
 	"speakup/internal/sweep"
 	"speakup/internal/web"
 )
@@ -219,6 +220,53 @@ func BenchmarkSweepSerial(b *testing.B) { benchmarkSweep(b, 1) }
 // BenchmarkSweepParallel fans the same grid across GOMAXPROCS workers;
 // on an N-core machine wall time drops roughly N-fold.
 func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
+
+// --- event core microbenchmarks ---
+
+type eventChain struct {
+	loop *sim.Loop
+	left int
+}
+
+func eventChainTick(env, _ any) {
+	c := env.(*eventChain)
+	if c.left--; c.left > 0 {
+		c.loop.AfterTimer(time.Microsecond, eventChainTick, c, nil)
+	}
+}
+
+// BenchmarkEventLoop measures the bare scheduler: 64 interleaved
+// self-rescheduling typed-timer chains, one event per op. The headline
+// claims are ns/op (pure per-event cost, no model code) and allocs/op,
+// which must stay at zero — the zero-allocation invariant the rebuilt
+// engine exists for, also enforced by tests in internal/sim.
+func BenchmarkEventLoop(b *testing.B) {
+	loop := sim.NewLoop(1)
+	loop.Grow(256)
+	const fanout = 64
+	chains := make([]eventChain, fanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range chains {
+		chains[i] = eventChain{loop: loop, left: b.N / fanout}
+		loop.AfterTimer(time.Duration(i), eventChainTick, &chains[i], nil)
+	}
+	loop.RunAll()
+}
+
+// BenchmarkEventScheduleCancel measures the re-armed-timer pattern
+// (TCP RTO resets fire it once per ACK): schedule far in the future,
+// cancel immediately. Also 0 allocs/op.
+func BenchmarkEventScheduleCancel(b *testing.B) {
+	loop := sim.NewLoop(1)
+	loop.Grow(256)
+	var h sim.Handler = func(env, arg any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loop.Cancel(loop.AfterTimer(time.Hour, h, nil, nil))
+	}
+}
 
 // --- §7.1: thinner payment-sink capacity (real sockets) ---
 

@@ -1,0 +1,192 @@
+// Command benchjson measures the repo's headline performance numbers
+// and writes them to a machine-readable JSON file, seeding the
+// per-PR benchmark trajectory (BENCH_PR2.json, BENCH_PR3.json, ...).
+//
+// Two benchmarks are recorded:
+//
+//   - sweep_serial: the §7.4-style capacity sweep on one worker — the
+//     same workload as BenchmarkSweepSerial in bench_test.go. Its
+//     events/sec is the throughput ceiling for every figure
+//     reproduction.
+//   - event_loop: a microbenchmark of the event core alone
+//     (self-rescheduling typed timers), isolating scheduler overhead
+//     from model code.
+//
+// The emitted file also carries the pre-change baseline for this PR
+// (measured on the same workload with the previous container/heap +
+// closure engine) so the speedup is auditable without checking out old
+// commits.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                 # writes BENCH_PR2.json
+//	go run ./cmd/benchjson -out bench.json -benchtime 5x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"speakup/internal/appsim"
+	"speakup/internal/scenario"
+	"speakup/internal/sim"
+	"speakup/internal/sweep"
+)
+
+// baseline is the pre-PR2 measurement of the identical sweep_serial
+// workload (commit 57671a7: container/heap event queue, two closures
+// per packet hop, append/reslice link queues, per-event heap nodes),
+// captured with go test -bench BenchmarkSweepSerial -benchmem.
+var baseline = metricsJSON{
+	Name:        "sweep_serial",
+	NsPerOp:     1331848517,
+	EventsPerOp: 2525243,
+	EventsPerSec: func() float64 {
+		return 2525243 / (1331848517 * 1e-9)
+	}(),
+	BytesPerOp:  326552000,
+	AllocsPerOp: 7450748,
+	Note:        "pre-PR2 engine (container/heap + closures), same workload and host class",
+}
+
+type metricsJSON struct {
+	Name         string  `json:"name"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Note         string  `json:"note,omitempty"`
+}
+
+type fileJSON struct {
+	PR        int           `json:"pr"`
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Baseline  metricsJSON   `json:"baseline"`
+	Current   []metricsJSON `json:"current"`
+	Speedup   float64       `json:"speedup_events_per_sec_vs_baseline"`
+}
+
+// sweepGrid mirrors sweepBenchGrid in bench_test.go: the §7.4 capacity
+// axis at reduced duration.
+func sweepGrid() []sweep.Run {
+	var g sweep.Grid
+	for _, c := range []float64{50, 75, 100, 125, 150, 200} {
+		g.Add(fmt.Sprintf("bench/c=%g", c), scenario.Config{
+			Seed: 1, Duration: 20 * time.Second, Capacity: c,
+			Mode: appsim.ModeAuction,
+			Groups: []scenario.ClientGroup{
+				{Count: 10, Good: true},
+				{Count: 10, Good: false},
+			},
+		})
+	}
+	return g.Runs()
+}
+
+func measureSweepSerial() metricsJSON {
+	grid := sweepGrid()
+	var events uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			events = 0
+			for _, run := range (sweep.Engine{Workers: 1}).Sweep(grid) {
+				events += run.Result.Events
+			}
+		}
+	})
+	m := metricsJSON{
+		Name:        "sweep_serial",
+		NsPerOp:     r.NsPerOp(),
+		EventsPerOp: float64(events),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	m.EventsPerSec = float64(events) / (float64(r.NsPerOp()) * 1e-9)
+	return m
+}
+
+type chainState struct {
+	loop *sim.Loop
+	left int
+}
+
+func chainTick(env, _ any) {
+	c := env.(*chainState)
+	if c.left--; c.left > 0 {
+		c.loop.AfterTimer(time.Microsecond, chainTick, c, nil)
+	}
+}
+
+func measureEventLoop() metricsJSON {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		loop := sim.NewLoop(1)
+		loop.Grow(256)
+		const fanout = 64
+		chains := make([]chainState, fanout)
+		b.ResetTimer()
+		for i := range chains {
+			chains[i] = chainState{loop: loop, left: b.N / fanout}
+			loop.AfterTimer(time.Duration(i), chainTick, &chains[i], nil)
+		}
+		loop.RunAll()
+	})
+	m := metricsJSON{
+		Name:        "event_loop",
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Note:        "per-event cost of the bare scheduler (typed timer chains)",
+	}
+	if r.NsPerOp() > 0 {
+		m.EventsPerSec = 1e9 / float64(r.NsPerOp())
+	}
+	return m
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output file")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "benchjson: measuring sweep_serial ...")
+	sweepM := measureSweepSerial()
+	fmt.Fprintf(os.Stderr, "  %.0f events/sec, %d allocs/op\n", sweepM.EventsPerSec, sweepM.AllocsPerOp)
+	fmt.Fprintln(os.Stderr, "benchjson: measuring event_loop ...")
+	loopM := measureEventLoop()
+	fmt.Fprintf(os.Stderr, "  %.1f ns/event, %d allocs/op\n", float64(loopM.NsPerOp), loopM.AllocsPerOp)
+
+	f := fileJSON{
+		PR:        2,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Baseline:  baseline,
+		Current:   []metricsJSON{sweepM, loopM},
+	}
+	f.Speedup = sweepM.EventsPerSec / baseline.EventsPerSec
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%.2fx events/sec vs baseline)\n", *out, f.Speedup)
+}

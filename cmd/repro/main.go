@@ -8,6 +8,8 @@
 //	repro -duration 600s         # paper scale (600s runs; takes minutes)
 //	repro -experiment fig2,fig9  # a subset
 //	repro -parallel 8            # 8 concurrent scenario runs per sweep
+//	repro -cpuprofile cpu.prof   # profile the hot path under real load
+//	repro -memprofile mem.prof   # heap profile at exit (after GC)
 //
 // Each experiment's figure sweep fans out across -parallel workers
 // (default GOMAXPROCS) via internal/sweep; results are bit-for-bit
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,13 +35,45 @@ import (
 	"speakup/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	duration := flag.Duration("duration", 60*time.Second, "virtual time per run (paper: 600s)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	which := flag.String("experiment", "all", "comma-separated experiment list (or 'all')")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent scenario runs per sweep")
 	progress := flag.Bool("progress", true, "print per-run progress to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	o := exp.Opts{Duration: *duration, Seed: *seed, Workers: *parallel}
 	if *progress {
@@ -92,11 +127,15 @@ func main() {
 		fmt.Printf("=== %s (duration %v, seed %d) ===\n", j.name, *duration, *seed)
 		start := time.Now()
 		j.run()
-		fmt.Printf("(%s in %.1fs wall)\n\n", j.name, time.Since(start).Seconds())
+		fmt.Println()
+		// Stderr, not stdout: table output stays byte-identical across
+		// runs (the determinism CI job diffs it), wall time never is.
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs wall)\n", j.name, time.Since(start).Seconds())
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *which)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

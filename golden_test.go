@@ -1,0 +1,163 @@
+package speakup
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"speakup/internal/appsim"
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+)
+
+// The golden files under testdata/golden were generated from the
+// original container/heap + closure-based event engine. They pin the
+// engine's observable behaviour bit-for-bit: any change to event
+// ordering, RNG consumption, or packet accounting shows up as a diff.
+// Regenerate (only when an intentional model change lands) with:
+//
+//	go test -run TestGoldenScenarios -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden files")
+
+// goldenConfigs cover the hot paths the zero-allocation engine
+// rebuilt: plain auction topology, OFF mode, shared bottlenecks,
+// bystander HTTP transfers, and heterogeneous work with suspends.
+func goldenConfigs() map[string]scenario.Config {
+	return map[string]scenario.Config{
+		"auction_basic": {
+			Seed: 1, Duration: 8 * time.Second, Capacity: 50,
+			Mode: appsim.ModeAuction,
+			Groups: []scenario.ClientGroup{
+				{Count: 5, Good: true},
+				{Count: 5, Good: false},
+			},
+		},
+		"auction_seed42": {
+			Seed: 42, Duration: 6 * time.Second, Capacity: 30,
+			Mode: appsim.ModeAuction,
+			Groups: []scenario.ClientGroup{
+				{Count: 4, Good: true},
+				{Count: 6, Good: false},
+			},
+		},
+		"off_mode": {
+			Seed: 7, Duration: 6 * time.Second, Capacity: 40,
+			Mode: appsim.ModeOff,
+			Groups: []scenario.ClientGroup{
+				{Count: 4, Good: true},
+				{Count: 4, Good: false},
+			},
+		},
+		"shared_bottleneck": {
+			Seed: 3, Duration: 8 * time.Second, Capacity: 25,
+			Mode:        appsim.ModeAuction,
+			Bottlenecks: []scenario.Bottleneck{{Rate: 5e6, Delay: time.Millisecond}},
+			Groups: []scenario.ClientGroup{
+				{Count: 3, Good: true, Bottleneck: 1},
+				{Count: 3, Good: false, Bottleneck: 1},
+			},
+		},
+		"bystander": {
+			Seed: 9, Duration: 8 * time.Second, Capacity: 25,
+			Mode:        appsim.ModeAuction,
+			Bottlenecks: []scenario.Bottleneck{{Rate: 5e6, Delay: time.Millisecond}},
+			BystanderH:  &scenario.Bystander{FileSize: 64_000},
+			Groups: []scenario.ClientGroup{
+				{Count: 2, Good: true, Bottleneck: 1},
+				{Count: 4, Good: false, Bottleneck: 1},
+			},
+		},
+		"parallel_payments": {
+			Seed: 11, Duration: 6 * time.Second, Capacity: 30,
+			Mode: appsim.ModeAuction,
+			Groups: []scenario.ClientGroup{
+				{Count: 3, Good: true},
+				{Count: 3, Good: false, PayConns: 4},
+			},
+		},
+	}
+}
+
+// hexF formats a float64 losslessly (hexadecimal mantissa), so golden
+// comparisons are exact to the last bit rather than to a print width.
+func hexF(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+
+func digestSample(b *strings.Builder, name string, s *metrics.Sample) {
+	fmt.Fprintf(b, "%s: n=%d sum=%s min=%s max=%s\n",
+		name, s.N(), hexF(s.Sum()), hexF(s.Min()), hexF(s.Max()))
+}
+
+// digest renders every figure-relevant output of a run with full
+// precision. If two engines produce identical digests for these
+// configs, they produce identical figures.
+func digest(r *scenario.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d\n", r.Events)
+	fmt.Fprintf(&b, "servedGood=%d servedBad=%d\n", r.ServedGood, r.ServedBad)
+	fmt.Fprintf(&b, "goodAllocation=%s fractionGoodServed=%s\n",
+		hexF(r.GoodAllocation), hexF(r.FractionGoodServed))
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		fmt.Fprintf(&b, "group %s good=%v clients=%d gen=%d issued=%d served=%d failed=%d denied=%d paidBytes=%d servedWork=%v\n",
+			g.Name, g.Good, g.Clients, g.Generated, g.Issued, g.Served, g.Failed, g.Denied, g.PaidBytes, g.ServedWork)
+		digestSample(&b, "  latencies", &g.Latencies)
+		digestSample(&b, "  payTimes", &g.PayTimes)
+		digestSample(&b, "  prices", &g.Prices)
+	}
+	t := r.ThinnerStats
+	fmt.Fprintf(&b, "thinner: admitted=%d direct=%d auctions=%d evicted=%d wasted=%d paid=%d\n",
+		t.Admitted, t.AdmittedDirect, t.Auctions, t.Evicted, t.WastedBytes, t.PaidBytes)
+	s := r.ServerStats
+	fmt.Fprintf(&b, "server: served=%d aborted=%d suspends=%d resumes=%d busy=%v work=%v\n",
+		s.Served, s.Aborted, s.Suspends, s.Resumes, s.BusyTime, s.TotalWork)
+	if r.BystanderLatencies != nil {
+		digestSample(&b, "bystander", r.BystanderLatencies)
+	}
+	return b.String()
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios take a few seconds; skipped with -short")
+	}
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := digest(scenario.Run(cfg))
+			path := filepath.Join("testdata", "golden", name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("digest diverged from golden engine output\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterminism verifies the engine is a pure function of the
+// seed: two fresh runs of the same config produce identical digests.
+func TestGoldenDeterminism(t *testing.T) {
+	cfg := goldenConfigs()["auction_basic"]
+	cfg.Duration = 4 * time.Second
+	a := digest(scenario.Run(cfg))
+	b := digest(scenario.Run(cfg))
+	if a != b {
+		t.Fatalf("same seed, different runs:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

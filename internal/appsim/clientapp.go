@@ -139,12 +139,16 @@ func (a *ClientApp) openPayment(r *clientReq) {
 	}
 	r.paying = true
 	r.payStart = a.loop.Now()
+	// One metadata record serves every POST of the request: receivers
+	// only read kind/id, so repeated payments (hundreds per request at
+	// 1 MB each) need not allocate a msg apiece.
+	postMsg := &msg{kind: kindPost, id: r.id}
 	for i := 0; i < a.cfg.PayConns; i++ {
 		conn := a.stack.Dial(a.thinner, nil)
 		r.payConns = append(r.payConns, conn)
 		post := func() {
 			if !conn.Closed() {
-				conn.Write(a.sizes.Post, &msg{kind: kindPost, id: r.id})
+				conn.Write(a.sizes.Post, postMsg)
 				r.paid += int64(a.sizes.Post)
 			}
 		}

@@ -69,6 +69,7 @@ type Client struct {
 	stats       Stats
 	stopped     bool
 	stopArrival func()
+	arrivalFn   func() // built once; rescheduled every arrival
 
 	// Issue starts the protocol exchange for a fresh request.
 	Issue func(id core.RequestID)
@@ -86,12 +87,17 @@ func New(clock core.Clock, cfg Config, nextID func() core.RequestID) *Client {
 	if nextID == nil {
 		panic("clients: nextID required")
 	}
-	return &Client{
+	c := &Client{
 		clock:  clock,
 		cfg:    cfg.withDefaults(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		nextID: nextID,
 	}
+	c.arrivalFn = func() {
+		c.arrival()
+		c.scheduleArrival()
+	}
+	return c
 }
 
 // Stats returns a copy of the workload counters.
@@ -126,10 +132,7 @@ func (c *Client) scheduleArrival() {
 		return
 	}
 	gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
-	c.stopArrival = c.clock.After(gap, func() {
-		c.arrival()
-		c.scheduleArrival()
-	})
+	c.stopArrival = c.clock.After(gap, c.arrivalFn)
 }
 
 func (c *Client) arrival() {
@@ -151,21 +154,25 @@ func (c *Client) issue(id core.RequestID) {
 	}
 }
 
-// expireBacklog denies queue entries older than the timeout.
+// expireBacklog denies queue entries older than the timeout. Entries
+// are appended in arrival order, so enqueue times are monotonic and
+// the expired set is always a prefix: the scan stops at the first
+// still-fresh entry instead of walking the whole backlog (bad clients
+// run hundreds deep, and this runs on every arrival and completion).
 func (c *Client) expireBacklog() {
 	cutoff := c.clock.Now() - c.cfg.BacklogTimeout
-	kept := c.backlog[:0]
-	for _, e := range c.backlog {
-		if e.enqueued <= cutoff {
-			c.stats.Denied++
-			if c.OnDenial != nil {
-				c.OnDenial(e.id)
-			}
-			continue
+	n := 0
+	for n < len(c.backlog) && c.backlog[n].enqueued <= cutoff {
+		c.stats.Denied++
+		if c.OnDenial != nil {
+			c.OnDenial(c.backlog[n].id)
 		}
-		kept = append(kept, e)
+		n++
 	}
-	c.backlog = kept
+	if n > 0 {
+		rest := copy(c.backlog, c.backlog[n:])
+		c.backlog = c.backlog[:rest]
+	}
 }
 
 // RequestServed reports a completed request; a backlog entry (if any)

@@ -111,14 +111,20 @@ func (c *Client) Stop() {
 func (c *Client) arrivals() {
 	defer c.wg.Done()
 	sem := make(chan struct{}, c.cfg.Window)
+	// One reusable timer for the whole arrival loop: time.After would
+	// allocate a fresh runtime timer per gap, which at high lambda is
+	// measurable garbage on the load-generation path.
+	gapTimer := time.NewTimer(time.Hour)
+	defer gapTimer.Stop()
 	for {
 		c.rngMu.Lock()
 		gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
 		c.rngMu.Unlock()
+		gapTimer.Reset(gap)
 		select {
 		case <-c.stop:
 			return
-		case <-time.After(gap):
+		case <-gapTimer.C:
 		}
 		select {
 		case sem <- struct{}{}:

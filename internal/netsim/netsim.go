@@ -10,6 +10,14 @@
 // topology. This is the substitution for the paper's Emulab testbed:
 // rates, delays, queueing, and loss — the quantities speak-up's
 // evaluation depends on — are modeled per-packet.
+//
+// The per-packet path is allocation-free in steady state: packets come
+// from a per-Network free list (NewPacket / Send recycles them after
+// final delivery or drop), link queues are reusing ring buffers, and
+// the transmit/propagate hops are typed sim events rather than
+// closures. Consequently the network owns every packet passed to Send:
+// handlers may read the packet (and keep its Payload) but must not
+// retain the *Packet itself past the callback.
 package netsim
 
 import (
@@ -24,14 +32,18 @@ type NodeID int
 
 // Packet is one datagram in flight. Size is the total on-the-wire size
 // in bytes. Payload carries the upper-layer segment (e.g. a TCP
-// segment); netsim never inspects it.
+// segment); netsim never inspects it. Obtain packets with NewPacket
+// where throughput matters: the network recycles delivered and dropped
+// packets into a free list.
 type Packet struct {
 	Size     int
 	Src, Dst NodeID
 	Payload  any
 }
 
-// Handler receives packets addressed to a node.
+// Handler receives packets addressed to a node. The network reclaims
+// the packet when the handler returns: keep Payload if needed, never
+// the *Packet.
 type Handler func(pkt *Packet)
 
 type node struct {
@@ -52,6 +64,54 @@ type LinkStats struct {
 	BytesDropped uint64
 }
 
+// pktRing is a reusing FIFO of packets: a power-of-two circular buffer
+// indexed by monotonically increasing head/tail counters. Unlike the
+// old append/reslice queue it never strands popped *Packet pointers in
+// the backing array (slots are nilled on pop) and reuses its storage
+// forever, so a busy link stops allocating once the ring has grown to
+// the high-water mark.
+type pktRing struct {
+	buf  []*Packet
+	head uint64 // next pop
+	tail uint64 // next push
+}
+
+func (r *pktRing) len() int { return int(r.tail - r.head) }
+
+func (r *pktRing) push(p *Packet) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = p
+	r.tail++
+}
+
+func (r *pktRing) pop() *Packet {
+	if r.head == r.tail {
+		return nil
+	}
+	i := r.head & uint64(len(r.buf)-1)
+	p := r.buf[i]
+	r.buf[i] = nil // release the reference: no retained-pointer leak
+	r.head++
+	return p
+}
+
+func (r *pktRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]*Packet, n)
+	// Re-linearize the old contents at the front.
+	for i, k := 0, r.head; k != r.tail; i, k = i+1, k+1 {
+		buf[i] = r.buf[k&uint64(len(r.buf)-1)]
+	}
+	r.tail -= r.head
+	r.head = 0
+	r.buf = buf
+}
+
 // Link is a unidirectional pipe between two nodes.
 type Link struct {
 	net   *Network
@@ -63,7 +123,7 @@ type Link struct {
 	qcap  int // max queued bytes behind the packet in service; <=0 means unbounded
 
 	queued int // bytes waiting (excludes packet in service)
-	q      []*Packet
+	q      pktRing
 	busy   bool
 
 	Stats LinkStats
@@ -74,6 +134,10 @@ func (l *Link) Name() string { return l.name }
 
 // QueuedBytes returns the bytes currently waiting in the queue.
 func (l *Link) QueuedBytes() int { return l.queued }
+
+// QueueCap returns the capacity (in slots) of the queue's backing ring
+// buffer; tests use it to assert queue memory stays bounded.
+func (l *Link) QueueCap() int { return len(l.q.buf) }
 
 // Rate returns the link rate in bits per second.
 func (l *Link) Rate() float64 { return l.rate }
@@ -87,8 +151,11 @@ type Network struct {
 	nodes []*node
 	links []*Link
 
+	pktFree []*Packet // recycled packets
+
 	// Trace, when non-nil, observes packet events: "send" (enqueued on
 	// a link), "drop" (drop-tail), "recv" (delivered to final handler).
+	// The packet is reclaimed after a "drop"/"recv" callback returns.
 	Trace func(event string, l *Link, pkt *Packet)
 }
 
@@ -99,6 +166,25 @@ func New(loop *sim.Loop) *Network {
 
 // Loop returns the underlying event loop.
 func (n *Network) Loop() *sim.Loop { return n.loop }
+
+// NewPacket returns a zeroed packet from the network's free list (or a
+// fresh one). Packets given to Send return to the list automatically
+// on final delivery or drop.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// reclaim recycles a packet whose journey has ended. The Payload
+// reference is dropped so the pool never pins upper-layer segments.
+func (n *Network) reclaim(pkt *Packet) {
+	*pkt = Packet{}
+	n.pktFree = append(n.pktFree, pkt)
+}
 
 // AddNode creates a node. The handler receives packets whose Dst is
 // this node; it may be nil for pure switches.
@@ -179,7 +265,8 @@ func (n *Network) ComputeRoutes() {
 }
 
 // Send injects a packet at its source node; it is routed hop-by-hop to
-// pkt.Dst and handed to that node's handler.
+// pkt.Dst and handed to that node's handler. The network owns pkt from
+// this point: it is recycled after delivery or drop.
 func (n *Network) Send(pkt *Packet) {
 	if pkt.Size <= 0 {
 		panic("netsim: packet size must be positive")
@@ -195,6 +282,7 @@ func (n *Network) forward(at *node, pkt *Packet) {
 		if at.handler != nil {
 			at.handler(pkt)
 		}
+		n.reclaim(pkt)
 		return
 	}
 	if at.routes == nil {
@@ -215,15 +303,19 @@ func (l *Link) enqueue(pkt *Packet) {
 			if l.net.Trace != nil {
 				l.net.Trace("drop", l, pkt)
 			}
+			l.net.reclaim(pkt)
 			return
 		}
 		l.queued += pkt.Size
-		l.q = append(l.q, pkt)
+		l.q.push(pkt)
 		return
 	}
 	l.transmit(pkt)
 }
 
+// transmit starts serializing pkt onto the wire. The tx-done and
+// propagation hops are typed events (linkTxDone, linkDeliver)
+// dispatched by the loop, not closures: nothing here allocates.
 func (l *Link) transmit(pkt *Packet) {
 	l.busy = true
 	if l.net.Trace != nil {
@@ -233,24 +325,31 @@ func (l *Link) transmit(pkt *Packet) {
 	if tx < time.Nanosecond {
 		tx = time.Nanosecond
 	}
-	loop := l.net.loop
-	loop.After(tx, func() {
-		l.Stats.PktsSent++
-		l.Stats.BytesSent += uint64(pkt.Size)
-		// Propagation: the packet arrives at the far node delay later;
-		// meanwhile the link is free to serialize the next packet.
-		loop.After(l.delay, func() {
-			l.net.forward(l.net.nodes[l.to], pkt)
-		})
-		if len(l.q) > 0 {
-			next := l.q[0]
-			l.q = l.q[1:]
-			l.queued -= next.Size
-			l.transmit(next)
-		} else {
-			l.busy = false
-		}
-	})
+	l.net.loop.AfterTimer(tx, linkTxDone, l, pkt)
+}
+
+// linkTxDone fires when the last bit of pkt leaves the link's sender:
+// the packet starts propagating and the link is free to serialize the
+// next queued packet.
+func linkTxDone(env, arg any) {
+	l := env.(*Link)
+	pkt := arg.(*Packet)
+	l.Stats.PktsSent++
+	l.Stats.BytesSent += uint64(pkt.Size)
+	l.net.loop.AfterTimer(l.delay, linkDeliver, l, pkt)
+	if next := l.q.pop(); next != nil {
+		l.queued -= next.Size
+		l.transmit(next)
+	} else {
+		l.busy = false
+	}
+}
+
+// linkDeliver fires when pkt reaches the link's far node.
+func linkDeliver(env, arg any) {
+	l := env.(*Link)
+	pkt := arg.(*Packet)
+	l.net.forward(l.net.nodes[l.to], pkt)
 }
 
 // Links returns all links, in creation order (useful for stats).

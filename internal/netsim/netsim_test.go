@@ -10,14 +10,16 @@ import (
 )
 
 // twoNodes builds a <-> b with the given parameters and returns the
-// network plus received-packet recorders for each side.
-func twoNodes(t *testing.T, rate float64, delay time.Duration, qcap int) (*Network, NodeID, NodeID, *[]*Packet, *[]*Packet) {
+// network plus received-packet counters for each side. (Counters, not
+// packet slices: the network recycles packets after the handler
+// returns, so handlers must not retain them.)
+func twoNodes(t *testing.T, rate float64, delay time.Duration, qcap int) (*Network, NodeID, NodeID, *int, *int) {
 	t.Helper()
 	loop := sim.NewLoop(1)
 	n := New(loop)
-	var atA, atB []*Packet
-	a := n.AddNode("a", func(p *Packet) { atA = append(atA, p) })
-	b := n.AddNode("b", func(p *Packet) { atB = append(atB, p) })
+	var atA, atB int
+	a := n.AddNode("a", func(p *Packet) { atA++ })
+	b := n.AddNode("b", func(p *Packet) { atB++ })
 	n.Connect(a, b, rate, delay, qcap)
 	n.ComputeRoutes()
 	return n, a, b, &atA, &atB
@@ -79,8 +81,8 @@ func TestDropTail(t *testing.T) {
 		n.Send(&Packet{Size: 750, Src: a, Dst: b})
 	}
 	n.Loop().RunAll()
-	if len(*atB) != 3 {
-		t.Fatalf("delivered %d, want 3 (1 in service + 2 queued)", len(*atB))
+	if *atB != 3 {
+		t.Fatalf("delivered %d, want 3 (1 in service + 2 queued)", *atB)
 	}
 	l := n.Links()[0]
 	if l.Stats.PktsDropped != 1 || l.Stats.BytesDropped != 750 {
@@ -97,8 +99,8 @@ func TestUnboundedQueueNeverDrops(t *testing.T) {
 		n.Send(&Packet{Size: 1500, Src: a, Dst: b})
 	}
 	n.Loop().RunAll()
-	if len(*atB) != 200 {
-		t.Fatalf("delivered %d, want 200", len(*atB))
+	if *atB != 200 {
+		t.Fatalf("delivered %d, want 200", *atB)
 	}
 }
 
@@ -110,8 +112,8 @@ func TestDuplexIndependence(t *testing.T) {
 		n.Send(&Packet{Size: 1000, Src: b, Dst: a})
 	}
 	n.Loop().RunAll()
-	if len(*atA) != 10 || len(*atB) != 10 {
-		t.Fatalf("delivered %d/%d, want 10/10", len(*atA), len(*atB))
+	if *atA != 10 || *atB != 10 {
+		t.Fatalf("delivered %d/%d, want 10/10", *atA, *atB)
 	}
 	// Both directions finish at the same time: 10 packets * 1ms + 1ms.
 	if now := n.Loop().Now(); now != 11*time.Millisecond {
@@ -122,11 +124,11 @@ func TestDuplexIndependence(t *testing.T) {
 func TestMultiHopRouting(t *testing.T) {
 	loop := sim.NewLoop(1)
 	n := New(loop)
-	var got []*Packet
+	var got int
 	c1 := n.AddNode("c1", nil)
 	c2 := n.AddNode("c2", nil)
 	sw := n.AddNode("sw", nil)
-	th := n.AddNode("th", func(p *Packet) { got = append(got, p) })
+	th := n.AddNode("th", func(p *Packet) { got++ })
 	n.Connect(c1, sw, 8e6, time.Millisecond, 0)
 	n.Connect(c2, sw, 8e6, time.Millisecond, 0)
 	n.Connect(sw, th, 8e6, time.Millisecond, 0)
@@ -138,8 +140,8 @@ func TestMultiHopRouting(t *testing.T) {
 	n.SetHandler(c1, func(p *Packet) { back++ })
 	n.Send(&Packet{Size: 500, Src: th, Dst: c1})
 	loop.RunAll()
-	if len(got) != 2 {
-		t.Fatalf("thinner received %d, want 2", len(got))
+	if got != 2 {
+		t.Fatalf("thinner received %d, want 2", got)
 	}
 	if back != 1 {
 		t.Fatalf("reverse delivery failed: %d", back)
@@ -222,7 +224,7 @@ func TestLocalDelivery(t *testing.T) {
 	// Src == Dst: delivered synchronously to the handler.
 	n, a, _, atA, _ := twoNodes(t, 1e6, 0, 0)
 	n.Send(&Packet{Size: 10, Src: a, Dst: a})
-	if len(*atA) != 1 {
+	if *atA != 1 {
 		t.Fatal("local packet not delivered")
 	}
 }
@@ -306,5 +308,111 @@ func TestQuickFIFOUnbounded(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(32))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression for the old `l.q = l.q[1:]` queue: popped *Packet
+// pointers stayed reachable through the backing array, and the array
+// itself grew with every append. The ring buffer must (a) keep its
+// backing storage at the traffic high-water mark, not the traffic
+// volume, and (b) nil out popped slots so drained queues retain no
+// packets.
+func TestQueueMemoryBounded(t *testing.T) {
+	loop := sim.NewLoop(1)
+	n := New(loop)
+	a := n.AddNode("a", nil)
+	b := n.AddNode("b", func(p *Packet) {})
+	n.Connect(a, b, 8e6, time.Millisecond, 0) // 1ms per 1000B packet
+	n.ComputeRoutes()
+	l := n.Links()[0]
+
+	// Feed 5000 packets in bursts of 4 per serialization time: the
+	// queue occupancy oscillates around ~3, never near 5000.
+	sent := 0
+	var feed func()
+	feed = func() {
+		for i := 0; i < 4; i++ {
+			pkt := n.NewPacket()
+			pkt.Size, pkt.Src, pkt.Dst = 1000, a, b
+			n.Send(pkt)
+			sent++
+		}
+		if sent < 5000 {
+			loop.After(4*time.Millisecond, feed)
+		}
+	}
+	loop.After(0, feed)
+	loop.RunAll()
+
+	if l.Stats.PktsSent != 5000 {
+		t.Fatalf("sent %d packets, want 5000", l.Stats.PktsSent)
+	}
+	if cap := l.QueueCap(); cap > 64 {
+		t.Fatalf("ring buffer grew to %d slots for a ~4-deep queue: unbounded queue memory", cap)
+	}
+	for i, p := range l.q.buf {
+		if p != nil {
+			t.Fatalf("drained ring retains packet at slot %d: retained-pointer leak", i)
+		}
+	}
+}
+
+func TestRingGrowPreservesFIFOAcrossWrap(t *testing.T) {
+	var r pktRing
+	mk := func(i int) *Packet { return &Packet{Size: i + 1} }
+	// Interleave pushes and pops so head/tail wrap before a grow.
+	next, want := 0, 0
+	check := func(p *Packet) {
+		if p == nil || p.Size != want+1 {
+			t.Fatalf("pop = %v, want size %d", p, want+1)
+		}
+		want++
+	}
+	for i := 0; i < 12; i++ {
+		r.push(mk(next))
+		next++
+	}
+	for i := 0; i < 10; i++ {
+		check(r.pop())
+	}
+	for i := 0; i < 40; i++ { // forces a grow while head > 0
+		r.push(mk(next))
+		next++
+	}
+	for r.len() > 0 {
+		check(r.pop())
+	}
+	if want != next {
+		t.Fatalf("popped %d of %d", want, next)
+	}
+	if r.pop() != nil {
+		t.Fatal("pop from empty ring != nil")
+	}
+}
+
+// Delivered and dropped packets must return to the free list and come
+// back out of NewPacket: steady-state traffic reuses a fixed packet
+// population.
+func TestPacketsRecycled(t *testing.T) {
+	loop := sim.NewLoop(1)
+	n := New(loop)
+	a := n.AddNode("a", nil)
+	b := n.AddNode("b", func(p *Packet) {})
+	n.Connect(a, b, 8e6, time.Millisecond, 0)
+	n.ComputeRoutes()
+
+	for round := 0; round < 50; round++ {
+		pkt := n.NewPacket()
+		pkt.Size, pkt.Src, pkt.Dst = 1000, a, b
+		n.Send(pkt)
+		loop.RunAll()
+	}
+	if free := len(n.pktFree); free != 1 {
+		t.Fatalf("free list holds %d packets after 50 sequential sends, want 1 (recycled)", free)
+	}
+	// A recycled packet comes back zeroed.
+	p := n.NewPacket()
+	if p.Size != 0 || p.Payload != nil || p.Src != 0 || p.Dst != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", p)
 	}
 }

@@ -260,6 +260,7 @@ func Run(cfg Config) *Result {
 		panic(err)
 	}
 	loop := sim.NewLoop(cfg.Seed)
+	loop.Grow(4096) // pre-size the event arena: no growth during the run
 	n := netsim.New(loop)
 	clock := simclock.New(loop)
 

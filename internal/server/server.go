@@ -64,6 +64,11 @@ type Server struct {
 	Observer func(id core.RequestID, consumed time.Duration)
 
 	workOf map[core.RequestID]time.Duration
+
+	// completeFn is the completion callback handed to clock.After,
+	// built once so serving a request does not allocate a fresh closure
+	// (state it needs lives in current/pendingWork/startedAt).
+	completeFn func()
 }
 
 // New creates an idle server.
@@ -77,13 +82,15 @@ func New(clock core.Clock, cfg Config) *Server {
 	if cfg.Jitter < 0 {
 		cfg.Jitter = 0
 	}
-	return &Server{
+	s := &Server{
 		clock:     clock,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		suspended: make(map[core.RequestID]time.Duration),
 		workOf:    make(map[core.RequestID]time.Duration),
 	}
+	s.completeFn = s.complete
+	return s
 }
 
 // Busy reports whether a request is in service.
@@ -125,21 +132,27 @@ func (s *Server) run(id core.RequestID, work time.Duration) {
 	s.current = id
 	s.startedAt = s.clock.Now()
 	s.pendingWork = work
-	s.finish = s.clock.After(work, func() {
-		s.stats.Served++
-		s.stats.TotalWork += work
-		s.stats.BusyTime += s.clock.Now() - s.startedAt
-		s.busy = false
-		s.finish = nil
-		total := s.workOf[id]
-		delete(s.workOf, id)
-		if s.Observer != nil {
-			s.Observer(id, total)
-		}
-		if s.Done != nil {
-			s.Done(id)
-		}
-	})
+	s.finish = s.clock.After(work, s.completeFn)
+}
+
+// complete finishes the in-service request. It reads the request from
+// the server fields rather than a closure: between run and firing,
+// only Suspend can change them, and Suspend cancels the timer.
+func (s *Server) complete() {
+	id := s.current
+	s.stats.Served++
+	s.stats.TotalWork += s.pendingWork
+	s.stats.BusyTime += s.clock.Now() - s.startedAt
+	s.busy = false
+	s.finish = nil
+	total := s.workOf[id]
+	delete(s.workOf, id)
+	if s.Observer != nil {
+		s.Observer(id, total)
+	}
+	if s.Done != nil {
+		s.Done(id)
+	}
 }
 
 // Suspend pauses the in-service request, remembering its remaining

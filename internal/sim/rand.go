@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is the loop's deterministic pseudo-random generator: a PCG-64
+// (XSL-RR output over a 128-bit LCG state), inlined here so the hot
+// path has no heap-allocated generator object, no interface dispatch,
+// and no lock (math/rand's global functions take one). The method set
+// covers what Loop.Uniform/Loop.Exp and model code draw — grow it
+// only when a caller appears.
+//
+// The zero Rand is valid but fixed at seed 0; NewLoop seeds it.
+type Rand struct {
+	hi, lo uint64 // 128-bit LCG state
+}
+
+// 128-bit LCG multiplier (PCG's default) and an odd increment.
+const (
+	pcgMulHi = 0x2360ed051fc65da4
+	pcgMulLo = 0x4385df649fccf645
+	pcgIncHi = 0x5851f42d4c957f2d
+	pcgIncLo = 0x14057b7ef767814f
+)
+
+// Seed resets the generator to a state derived from seed via two
+// rounds of splitmix64, then advances once so near-equal seeds do not
+// produce near-equal first outputs.
+func (r *Rand) Seed(seed int64) {
+	s := uint64(seed)
+	r.lo = splitmix64(&s)
+	r.hi = splitmix64(&s)
+	r.Uint64()
+}
+
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	// Advance the 128-bit LCG: state = state*mul + inc.
+	hi, lo := bits.Mul64(r.lo, pcgMulLo)
+	hi += r.hi*pcgMulLo + r.lo*pcgMulHi
+	lo, carry := bits.Add64(lo, pcgIncLo, 0)
+	hi, _ = bits.Add64(hi, pcgIncHi, carry)
+	r.hi, r.lo = hi, lo
+	// XSL-RR: xor-fold the halves, rotate by the top bits.
+	return bits.RotateLeft64(hi^lo, -int(hi>>58))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Int63() & (n - 1)
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1
+// (inverse-CDF method; 1-u keeps the argument of Log away from zero).
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}

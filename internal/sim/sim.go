@@ -1,17 +1,23 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// A Loop owns a virtual clock and a priority queue of events. Events are
-// closures scheduled at absolute virtual times; the loop runs them in
-// timestamp order (FIFO among equal timestamps). The engine is
+// A Loop owns a virtual clock and a priority queue of events. Events
+// run in timestamp order (FIFO among equal timestamps). The engine is
 // single-goroutine by design: all model state mutated from event
 // callbacks needs no locking, and a fixed RNG seed makes entire runs
 // reproducible bit-for-bit.
+//
+// The implementation is built for zero steady-state allocation on the
+// scheduling hot path. Events live in a slot arena recycled through a
+// free list; the priority queue is a hand-rolled 4-ary min-heap of
+// small value entries (no interface boxing, no virtual dispatch); and
+// hot callers use ScheduleTimer with a typed Handler plus two untyped
+// pointer arguments instead of closures, so scheduling a packet hop
+// never touches the garbage collector. Schedule/After with ordinary
+// closures remain available for cold paths and tests.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 	"time"
 )
 
@@ -19,64 +25,68 @@ import (
 // It is a time.Duration so arithmetic is exact (integer nanoseconds).
 type Time = time.Duration
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Handler is a typed event callback. The loop dispatches it with the
+// two values supplied to ScheduleTimer: env is conventionally the
+// long-lived object the event belongs to (a link, a connection), arg
+// the per-event payload (a packet). Passing pointers through env/arg
+// does not allocate; that is the point of this API.
+type Handler func(env, arg any)
+
+// Event is a handle to a scheduled event. It is a small value (copy
+// freely); the zero Event refers to nothing, and Cancel/Pending on it
+// are safe no-ops. Handles are generation-checked: once the event has
+// run or been canceled-and-collected, the handle goes stale and all
+// operations on it are no-ops.
 type Event struct {
+	slot uint32 // index+1 into the loop's arena; 0 = none
+	gen  uint32
+}
+
+// slot states. A slot is queued from Schedule until the heap pops it
+// or Cancel removes it (eager deletion: canceled timers leave the heap
+// immediately, so churny re-armed timers — TCP RTO resets fire one per
+// ACK — never inflate the heap with corpses).
+const (
+	slotFree = iota
+	slotQueued
+)
+
+// eventSlot is one arena cell. Callback state is cleared eagerly on
+// cancel/run so the arena never retains dead closures or payloads.
+type eventSlot struct {
+	at    Time
+	fn    func() // closure form (Schedule/After)
+	h     Handler
+	env   any
+	arg   any
+	gen   uint32
+	state uint32
+	pos   int32 // index of this slot's entry in the heap
+}
+
+// entry is one heap element. The ordering key (at, seq) is stored
+// inline so sift operations compare without dereferencing the arena.
+type entry struct {
 	at   Time
-	seq  uint64 // tie-break: schedule order among equal timestamps
-	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	seq  uint64
+	slot uint32
 }
 
-// Cancel prevents a pending event from running. Canceling an event that
-// already ran (or was canceled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-}
-
-// Pending reports whether the event is still queued and not canceled.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
-
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Loop is the simulation event loop. Create one with NewLoop.
 type Loop struct {
 	now    Time
-	seq    uint64
-	queue  eventHeap
-	rng    *rand.Rand
+	seq    uint64 // tie-break: schedule order among equal timestamps
+	heap   []entry
+	slots  []eventSlot
+	free   []uint32 // recycled arena indices
+	rng    Rand
 	nRun   uint64
 	halted bool
 }
@@ -84,7 +94,9 @@ type Loop struct {
 // NewLoop returns a Loop whose RNG is seeded with seed. Two loops
 // with equal seeds and equal schedules produce identical runs.
 func NewLoop(seed int64) *Loop {
-	return &Loop{rng: rand.New(rand.NewSource(seed))}
+	l := &Loop{}
+	l.rng.Seed(seed)
+	return l
 }
 
 // Now returns the current virtual time.
@@ -92,30 +104,115 @@ func (l *Loop) Now() Time { return l.now }
 
 // Rand returns the loop's deterministic RNG. Model code must draw all
 // randomness from this generator to preserve reproducibility.
-func (l *Loop) Rand() *rand.Rand { return l.rng }
+func (l *Loop) Rand() *Rand { return &l.rng }
 
 // Processed returns the number of events executed so far.
 func (l *Loop) Processed() uint64 { return l.nRun }
 
+// Grow pre-sizes the arena and heap for n simultaneously pending
+// events, so even the first packets of a run schedule without growing
+// a slice.
+func (l *Loop) Grow(n int) {
+	if cap(l.heap) < n {
+		h := make([]entry, len(l.heap), n)
+		copy(h, l.heap)
+		l.heap = h
+	}
+	if cap(l.slots) < n {
+		s := make([]eventSlot, len(l.slots), n)
+		copy(s, l.slots)
+		l.slots = s
+	}
+	if cap(l.free) < n {
+		f := make([]uint32, len(l.free), n)
+		copy(f, l.free)
+		l.free = f
+	}
+}
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering
-// events would corrupt causality.
-func (l *Loop) Schedule(at Time, fn func()) *Event {
-	if at < l.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, l.now))
-	}
-	l.seq++
-	e := &Event{at: at, seq: l.seq, fn: fn, idx: -1}
-	heap.Push(&l.queue, e)
+// events would corrupt causality. In steady state (arena warm) the
+// call does not allocate; the closure fn itself is the caller's.
+func (l *Loop) Schedule(at Time, fn func()) Event {
+	e := l.alloc(at)
+	l.slots[e.slot-1].fn = fn
 	return e
 }
 
 // After runs fn after delay d (d < 0 is treated as 0).
-func (l *Loop) After(d time.Duration, fn func()) *Event {
+func (l *Loop) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return l.Schedule(l.now+d, fn)
+}
+
+// ScheduleTimer runs h(env, arg) at absolute virtual time at. This is
+// the zero-allocation form: h should be a package-level function (not
+// a method value or closure, which allocate at the call site), and
+// env/arg should be pointers or nil.
+func (l *Loop) ScheduleTimer(at Time, h Handler, env, arg any) Event {
+	e := l.alloc(at)
+	s := &l.slots[e.slot-1]
+	s.h, s.env, s.arg = h, env, arg
+	return e
+}
+
+// AfterTimer runs h(env, arg) after delay d (d < 0 is treated as 0).
+func (l *Loop) AfterTimer(d time.Duration, h Handler, env, arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return l.ScheduleTimer(l.now+d, h, env, arg)
+}
+
+// alloc reserves an arena slot and pushes it onto the heap.
+func (l *Loop) alloc(at Time) Event {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, l.now))
+	}
+	l.seq++
+	var idx uint32
+	if n := len(l.free); n > 0 {
+		idx = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.slots = append(l.slots, eventSlot{})
+		idx = uint32(len(l.slots) - 1)
+	}
+	s := &l.slots[idx]
+	s.at = at
+	s.state = slotQueued
+	l.push(entry{at: at, seq: l.seq, slot: idx})
+	return Event{slot: idx + 1, gen: s.gen}
+}
+
+// Cancel prevents a pending event from running. Canceling an event
+// that already ran (or was canceled), or the zero Event, is a no-op.
+// The heap entry is removed immediately and the slot recycled.
+func (l *Loop) Cancel(e Event) {
+	if e.slot == 0 {
+		return
+	}
+	s := &l.slots[e.slot-1]
+	if s.gen != e.gen || s.state != slotQueued {
+		return
+	}
+	l.removeAt(int(s.pos))
+	s.fn, s.h, s.env, s.arg = nil, nil, nil, nil
+	s.state = slotFree
+	s.gen++
+	l.free = append(l.free, e.slot-1)
+}
+
+// Pending reports whether the event is still queued and not canceled.
+func (l *Loop) Pending(e Event) bool {
+	if e.slot == 0 {
+		return false
+	}
+	s := &l.slots[e.slot-1]
+	return s.gen == e.gen && s.state == slotQueued
 }
 
 // Halt stops the loop after the current event returns. Pending events
@@ -129,17 +226,17 @@ func (l *Loop) Halt() { l.halted = true }
 func (l *Loop) Run(deadline Time) uint64 {
 	l.halted = false
 	start := l.nRun
-	for len(l.queue) > 0 && !l.halted {
-		next := l.queue[0]
-		if next.at > deadline {
+	for len(l.heap) > 0 && !l.halted {
+		if l.heap[0].at > deadline {
 			break
 		}
-		heap.Pop(&l.queue)
-		if next.dead {
-			continue
+		at, fn, h, env, arg := l.pop()
+		l.now = at
+		if h != nil {
+			h(env, arg)
+		} else {
+			fn()
 		}
-		l.now = next.at
-		next.fn()
 		l.nRun++
 	}
 	if l.now < deadline && !l.halted {
@@ -152,22 +249,125 @@ func (l *Loop) Run(deadline Time) uint64 {
 // and small models; workloads with self-regenerating events (timers)
 // must use Run with a deadline instead.
 func (l *Loop) RunAll() uint64 {
-	start := l.nRun
 	l.halted = false
-	for len(l.queue) > 0 && !l.halted {
-		next := heap.Pop(&l.queue).(*Event)
-		if next.dead {
-			continue
+	start := l.nRun
+	for len(l.heap) > 0 && !l.halted {
+		at, fn, h, env, arg := l.pop()
+		l.now = at
+		if h != nil {
+			h(env, arg)
+		} else {
+			fn()
 		}
-		l.now = next.at
-		next.fn()
 		l.nRun++
 	}
 	return l.nRun - start
 }
 
-// Pending returns the number of queued (possibly canceled) events.
-func (l *Loop) Pending() int { return len(l.queue) }
+// pop removes the earliest heap entry, retires its slot to the free
+// list (bumping the generation so stale handles die), and returns the
+// callback. The slot is recycled before the callback runs, so
+// callbacks may reschedule freely.
+func (l *Loop) pop() (at Time, fn func(), h Handler, env, arg any) {
+	e := l.heap[0]
+	l.popRoot()
+	s := &l.slots[e.slot]
+	at, fn, h, env, arg = s.at, s.fn, s.h, s.env, s.arg
+	s.fn, s.h, s.env, s.arg = nil, nil, nil, nil
+	s.state = slotFree
+	s.gen++
+	l.free = append(l.free, e.slot)
+	return
+}
+
+// QueueLen returns the number of queued events.
+func (l *Loop) QueueLen() int { return len(l.heap) }
+
+// --- 4-ary min-heap over entry values ---
+//
+// A 4-ary layout halves tree depth versus binary, trading slightly
+// more comparisons per level for fewer cache-missing levels — the
+// right trade for entries this small. Sift loops hole-shift instead
+// of swapping: the moving entry is written once at its final position.
+// Each placement records the entry's index in its arena slot, which is
+// what lets Cancel remove from the middle in O(depth).
+
+func (l *Loop) place(h []entry, i int, e entry) {
+	h[i] = e
+	l.slots[e.slot].pos = int32(i)
+}
+
+func (l *Loop) push(e entry) {
+	l.heap = append(l.heap, e)
+	l.siftUp(len(l.heap)-1, e)
+}
+
+func (l *Loop) popRoot() {
+	h := l.heap
+	n := len(h) - 1
+	e := h[n]
+	h[n] = entry{}
+	l.heap = h[:n]
+	if n > 0 {
+		l.siftDown(0, e)
+	}
+}
+
+// removeAt deletes the entry at heap index i (used by Cancel).
+func (l *Loop) removeAt(i int) {
+	h := l.heap
+	n := len(h) - 1
+	e := h[n]
+	h[n] = entry{}
+	l.heap = h[:n]
+	if i == n {
+		return
+	}
+	l.siftDown(i, e)
+	if l.slots[e.slot].pos == int32(i) {
+		l.siftUp(i, e)
+	}
+}
+
+func (l *Loop) siftUp(i int, e entry) {
+	h := l.heap
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(h[p]) {
+			break
+		}
+		l.place(h, i, h[p])
+		i = p
+	}
+	l.place(h, i, e)
+}
+
+func (l *Loop) siftDown(i int, e entry) {
+	h := l.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].less(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].less(e) {
+			break
+		}
+		l.place(h, i, h[m])
+		i = m
+	}
+	l.place(h, i, e)
+}
 
 // Uniform returns a duration drawn uniformly from [lo, hi].
 func (l *Loop) Uniform(lo, hi time.Duration) time.Duration {

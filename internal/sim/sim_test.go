@@ -69,12 +69,12 @@ func TestCancelPreventsExecution(t *testing.T) {
 	l := NewLoop(1)
 	ran := false
 	e := l.Schedule(time.Millisecond, func() { ran = true })
-	e.Cancel()
+	l.Cancel(e)
 	l.RunAll()
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	if e.Pending() {
+	if l.Pending(e) {
 		t.Fatal("canceled event still pending")
 	}
 }
@@ -83,7 +83,7 @@ func TestCancelFromEarlierEvent(t *testing.T) {
 	l := NewLoop(1)
 	ran := false
 	later := l.Schedule(20*time.Millisecond, func() { ran = true })
-	l.Schedule(10*time.Millisecond, func() { later.Cancel() })
+	l.Schedule(10*time.Millisecond, func() { l.Cancel(later) })
 	l.RunAll()
 	if ran {
 		t.Fatal("event canceled mid-run still executed")
@@ -142,8 +142,8 @@ func TestHaltStopsLoop(t *testing.T) {
 	if ran != 1 {
 		t.Fatalf("halt did not stop loop, ran=%d", ran)
 	}
-	if l.Pending() != 1 {
-		t.Fatalf("pending after halt = %d, want 1", l.Pending())
+	if l.QueueLen() != 1 {
+		t.Fatalf("queued after halt = %d, want 1", l.QueueLen())
 	}
 }
 
@@ -257,7 +257,7 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(delays []uint8, mask []bool) bool {
 		l := NewLoop(5)
 		ran := make(map[int]bool)
-		events := make([]*Event, len(delays))
+		events := make([]Event, len(delays))
 		for i, d := range delays {
 			i := i
 			events[i] = l.Schedule(time.Duration(d)*time.Microsecond, func() { ran[i] = true })
@@ -265,7 +265,7 @@ func TestQuickCancelSubset(t *testing.T) {
 		canceled := make(map[int]bool)
 		for i := range events {
 			if i < len(mask) && mask[i] {
-				events[i].Cancel()
+				l.Cancel(events[i])
 				canceled[i] = true
 			}
 		}
@@ -280,5 +280,162 @@ func TestQuickCancelSubset(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- typed (zero-allocation) timer events ---
+
+func TestScheduleTimerInterleavesWithClosures(t *testing.T) {
+	l := NewLoop(1)
+	var got []string
+	h := func(env, arg any) { got = append(got, *arg.(*string)) }
+	a, b := "timer-a", "timer-b"
+	l.ScheduleTimer(20*time.Millisecond, h, nil, &a)
+	l.Schedule(10*time.Millisecond, func() { got = append(got, "closure-1") })
+	l.ScheduleTimer(10*time.Millisecond, h, nil, &b) // same time: FIFO after closure-1
+	l.Schedule(30*time.Millisecond, func() { got = append(got, "closure-2") })
+	l.RunAll()
+	want := []string{"closure-1", "timer-b", "timer-a", "closure-2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimerEnvArgDelivered(t *testing.T) {
+	l := NewLoop(1)
+	type box struct{ n int }
+	env, arg := &box{1}, &box{2}
+	l.AfterTimer(time.Millisecond, func(e, a any) {
+		if e.(*box) != env || a.(*box) != arg {
+			t.Error("env/arg not delivered intact")
+		}
+	}, env, arg)
+	l.RunAll()
+}
+
+// A handle must go stale once its event runs: canceling it afterwards
+// must not kill an unrelated event that recycled the same arena slot.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	l := NewLoop(1)
+	first := l.Schedule(time.Millisecond, func() {})
+	l.RunAll() // first's slot returns to the free list
+	ran := false
+	second := l.Schedule(2*time.Millisecond, func() { ran = true })
+	l.Cancel(first) // stale: must be a no-op
+	if !l.Pending(second) {
+		t.Fatal("stale Cancel killed a recycled slot's event")
+	}
+	l.RunAll()
+	if !ran {
+		t.Fatal("second event did not run")
+	}
+}
+
+func TestZeroEventSafe(t *testing.T) {
+	l := NewLoop(1)
+	var e Event
+	l.Cancel(e) // no-op, no panic
+	if l.Pending(e) {
+		t.Fatal("zero Event reported pending")
+	}
+}
+
+func TestCancelReleasesReferencesEarly(t *testing.T) {
+	l := NewLoop(1)
+	e := l.Schedule(time.Millisecond, func() {})
+	l.Cancel(e)
+	if s := &l.slots[e.slot-1]; s.fn != nil || s.h != nil || s.env != nil || s.arg != nil {
+		t.Fatal("canceled slot retains callback references")
+	}
+}
+
+func TestGrowPreallocates(t *testing.T) {
+	l := NewLoop(1)
+	l.Grow(1024)
+	if cap(l.heap) < 1024 || cap(l.slots) < 1024 || cap(l.free) < 1024 {
+		t.Fatalf("Grow did not pre-size: heap=%d slots=%d free=%d",
+			cap(l.heap), cap(l.slots), cap(l.free))
+	}
+	// Growing must preserve queued events.
+	hits := 0
+	l.Schedule(time.Millisecond, func() { hits++ })
+	l.Grow(4096)
+	l.RunAll()
+	if hits != 1 {
+		t.Fatalf("event lost across Grow: hits=%d", hits)
+	}
+}
+
+// The PCG must be a pure function of the seed and must differ across
+// seeds.
+func TestRandSeedDeterminism(t *testing.T) {
+	var a, b, c Rand
+	a.Seed(123)
+	b.Seed(123)
+	c.Seed(124)
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		x, y, z := a.Uint64(), b.Uint64(), c.Uint64()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different streams")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandInt63nBounds(t *testing.T) {
+	var r Rand
+	r.Seed(9)
+	for _, n := range []int64{1, 2, 3, 7, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Int63n(n); v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	counts := make([]int, 5)
+	for i := 0; i < 50_000; i++ {
+		counts[r.Int63n(5)]++
+	}
+	for v, c := range counts {
+		if c < 9_000 || c > 11_000 {
+			t.Fatalf("Int63n(5) skewed: value %d seen %d/50000", v, c)
+		}
+	}
+}
+
+func TestRandFloat64HalfOpen(t *testing.T) {
+	var r Rand
+	r.Seed(4)
+	for i := 0; i < 100_000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestRandExpFloat64Mean(t *testing.T) {
+	var r Rand
+	r.Seed(6)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; mean < 0.98 || mean > 1.02 {
+		t.Fatalf("exponential mean = %g, want ~1", mean)
 	}
 }

@@ -22,7 +22,12 @@ func New(loop *sim.Loop) Clock { return Clock{Loop: loop} }
 func (c Clock) Now() time.Duration { return c.Loop.Now() }
 
 // After schedules fn after d on the loop and returns a cancel func.
+// The loop's event slots are arena-recycled; the only allocation here
+// is the returned cancel closure (plus whatever fn captured), which is
+// why per-packet work uses the loop's typed timers directly instead of
+// going through the Clock interface.
 func (c Clock) After(d time.Duration, fn func()) func() {
-	ev := c.Loop.After(d, fn)
-	return func() { ev.Cancel() }
+	loop := c.Loop
+	ev := loop.After(d, fn)
+	return func() { loop.Cancel(ev) }
 }

@@ -1,0 +1,45 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"speakup/internal/netsim"
+	"speakup/internal/sim"
+)
+
+// Steady-state regression fence for the TCP data path. An established
+// connection moving data allocates no segments (pooled per stack), no
+// packets (pooled per network), and no events (arena): without the
+// pools this loop costs ~30 objects per iteration. The only residual
+// allocation is the amortized record bookkeeping in Write/gcRecords
+// (a slice compaction every few hundred records), hence the small
+// threshold instead of a hard zero.
+func TestEstablishedDataFlowNearZeroAlloc(t *testing.T) {
+	loop := sim.NewLoop(1)
+	loop.Grow(256)
+	n := netsim.New(loop)
+	a := n.AddNode("a", nil)
+	b := n.AddNode("b", nil)
+	n.Connect(a, b, 10e6, time.Millisecond, 0)
+	n.ComputeRoutes()
+	sa := NewStack(n, a, Options{})
+	sb := NewStack(n, b, Options{})
+	sb.Listen(func(c *Conn) {})
+	conn := sa.Dial(b, nil)
+	conn.Write(100_000, "warm") // handshake + slow start + pool warm-up
+	loop.RunAll()
+	if !conn.Established() {
+		t.Fatal("connection did not establish")
+	}
+
+	iter := func() {
+		conn.Write(10 * sa.Options().MSS, "chunk")
+		loop.RunAll()
+	}
+	iter()
+	avg := testing.AllocsPerRun(500, iter)
+	if avg > 0.1 {
+		t.Fatalf("steady-state data flow allocates %.2f objects/op, want ~0 (record bookkeeping only)", avg)
+	}
+}

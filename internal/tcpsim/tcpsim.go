@@ -91,6 +91,27 @@ type Stack struct {
 	accept func(*Conn)
 	conns  map[connKey]*Conn
 	nextID uint64
+
+	// segFree recycles segments: every received segment returns here
+	// after dispatch, so steady-state traffic allocates none. Segments
+	// lost to drops are simply collected by the GC.
+	segFree []*segment
+}
+
+// newSegment returns a zeroed segment from the free list (or a fresh
+// one).
+func (s *Stack) newSegment() *segment {
+	if k := len(s.segFree); k > 0 {
+		seg := s.segFree[k-1]
+		s.segFree = s.segFree[:k-1]
+		return seg
+	}
+	return &segment{}
+}
+
+func (s *Stack) freeSegment(seg *segment) {
+	*seg = segment{}
+	s.segFree = append(s.segFree, seg)
 }
 
 // NewStack binds a TCP stack to node in net, replacing the node's
@@ -163,7 +184,7 @@ type Conn struct {
 	inRecovery bool
 	recoverSeq int64 // NewReno: sndNxt when loss was detected
 
-	rtoTimer   *sim.Event
+	rtoTimer   sim.Event
 	rto        time.Duration
 	srtt       time.Duration
 	rttvar     time.Duration
@@ -176,7 +197,7 @@ type Conn struct {
 	timing       bool
 	timedRetrans bool
 
-	synTimer *sim.Event
+	synTimer sim.Event
 
 	// --- receiver state ---
 	rcvNxt int64
@@ -287,7 +308,8 @@ func (c *Conn) Close() {
 	if c.closed {
 		return
 	}
-	rst := &segment{key: c.key, rst: true, fromInit: c.initiator}
+	rst := c.stack.newSegment()
+	rst.key, rst.rst, rst.fromInit = c.key, true, c.initiator
 	c.fillAndSend(rst)
 	c.teardown()
 }
@@ -295,60 +317,78 @@ func (c *Conn) Close() {
 func (c *Conn) teardown() {
 	c.closed = true
 	c.established = false
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
-	if c.synTimer != nil {
-		c.synTimer.Cancel()
-	}
+	c.stack.loop.Cancel(c.rtoTimer)
+	c.stack.loop.Cancel(c.synTimer)
 	delete(c.stack.conns, c.key)
 }
+
+// connSYNTimeout and connRTO are the typed timer entry points: the
+// loop dispatches them with the Conn as env, so (re)arming a timer
+// allocates nothing.
+func connSYNTimeout(env, _ any) {
+	c := env.(*Conn)
+	if !c.established && !c.closed {
+		c.rto = minDur(c.rto*2, c.stack.opts.RTOMax)
+		c.sendSYN()
+	}
+}
+
+func connRTO(env, _ any) { env.(*Conn).onRTO() }
 
 func (c *Conn) sendSYN() {
 	if c.closed || c.established {
 		return
 	}
-	c.fillAndSend(&segment{key: c.key, syn: true, fromInit: true})
-	c.synTimer = c.stack.loop.After(c.rto, func() {
-		if !c.established && !c.closed {
-			c.rto = minDur(c.rto*2, c.stack.opts.RTOMax)
-			c.sendSYN()
-		}
-	})
+	syn := c.stack.newSegment()
+	syn.key, syn.syn, syn.fromInit = c.key, true, true
+	c.fillAndSend(syn)
+	c.synTimer = c.stack.loop.AfterTimer(c.rto, connSYNTimeout, c, nil)
 }
 
 // fillAndSend stamps sender identity and piggybacked ACK, then hands
-// the segment to the network.
+// the segment to the network in a pooled packet.
 func (c *Conn) fillAndSend(seg *segment) {
 	seg.sender = c
 	seg.ackNo = c.rcvNxt
-	c.stack.net.Send(&netsim.Packet{
-		Size:    c.stack.opts.HeaderBytes + seg.length,
-		Src:     c.stack.node,
-		Dst:     c.remote,
-		Payload: seg,
-	})
+	pkt := c.stack.net.NewPacket()
+	pkt.Size = c.stack.opts.HeaderBytes + seg.length
+	pkt.Src = c.stack.node
+	pkt.Dst = c.remote
+	pkt.Payload = seg
+	c.stack.net.Send(pkt)
 }
 
+// handlePacket dispatches one delivered segment, then recycles it.
+// Nothing may retain the segment past dispatch (peer identity is the
+// sender *Conn*, which outlives it).
 func (s *Stack) handlePacket(pkt *netsim.Packet) {
 	seg, ok := pkt.Payload.(*segment)
 	if !ok {
 		panic(fmt.Sprintf("tcpsim: non-TCP packet at node %d", s.node))
 	}
+	s.dispatch(seg, pkt.Src)
+	s.freeSegment(seg)
+}
+
+func (s *Stack) dispatch(seg *segment, src netsim.NodeID) {
 	if seg.syn {
 		if c, exists := s.conns[seg.key]; exists {
 			// Retransmitted SYN for an accepted connection: re-SYNACK.
-			c.fillAndSend(&segment{key: c.key, synAck: true, fromInit: c.initiator})
+			synAck := s.newSegment()
+			synAck.key, synAck.synAck, synAck.fromInit = c.key, true, c.initiator
+			c.fillAndSend(synAck)
 			return
 		}
 		if s.accept == nil {
 			return // no listener: silently drop
 		}
-		c := s.newConn(seg.key, false, pkt.Src)
+		c := s.newConn(seg.key, false, src)
 		c.peer = seg.sender
 		c.established = true
 		s.accept(c)
-		c.fillAndSend(&segment{key: c.key, synAck: true, fromInit: false})
+		synAck := s.newSegment()
+		synAck.key, synAck.synAck = c.key, true
+		c.fillAndSend(synAck)
 		if c.OnOpen != nil {
 			c.OnOpen()
 		}
@@ -378,9 +418,7 @@ func (c *Conn) handleSegment(seg *segment) {
 	if seg.synAck {
 		if !c.established {
 			c.established = true
-			if c.synTimer != nil {
-				c.synTimer.Cancel()
-			}
+			c.stack.loop.Cancel(c.synTimer)
 			c.rto = c.stack.opts.RTOInit // discard handshake backoff
 			if c.OnOpen != nil {
 				c.OnOpen()
@@ -410,7 +448,9 @@ func (c *Conn) receiveData(seg *segment) {
 		return // an application callback closed the connection
 	}
 	// Cumulative ACK for everything received in order so far.
-	c.fillAndSend(&segment{key: c.key, fromInit: c.initiator})
+	ack := c.stack.newSegment()
+	ack.key, ack.fromInit = c.key, c.initiator
+	c.fillAndSend(ack)
 }
 
 // drainOutOfOrder folds buffered runs that now overlap the in-order
@@ -535,7 +575,8 @@ func (c *Conn) limitedTransmit() {
 		return
 	}
 	length := int(minI64(int64(c.stack.opts.MSS), avail))
-	seg := &segment{key: c.key, seq: c.sndNxt, length: length, fromInit: c.initiator}
+	seg := c.stack.newSegment()
+	seg.key, seg.seq, seg.length, seg.fromInit = c.key, c.sndNxt, length, c.initiator
 	c.sndNxt += int64(length)
 	c.BytesSent += int64(length)
 	c.fillAndSend(seg)
@@ -564,7 +605,9 @@ func (c *Conn) retransmit(seq int64) {
 	}
 	c.Retransmits++
 	c.BytesSent += int64(length)
-	c.fillAndSend(&segment{key: c.key, seq: seq, length: length, fromInit: c.initiator})
+	seg := c.stack.newSegment()
+	seg.key, seg.seq, seg.length, seg.fromInit = c.key, seq, length, c.initiator
+	c.fillAndSend(seg)
 }
 
 func (c *Conn) updateRTT(sample time.Duration) {
@@ -587,15 +630,13 @@ func (c *Conn) updateRTT(sample time.Duration) {
 }
 
 func (c *Conn) resetRTOTimer() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.stack.loop.Cancel(c.rtoTimer)
+	c.rtoTimer = sim.Event{}
 	if c.sndNxt == c.sndUna {
 		return // nothing outstanding
 	}
 	rto := clampDur(c.rto<<uint(c.backoff), c.stack.opts.RTOMin, c.stack.opts.RTOMax)
-	c.rtoTimer = c.stack.loop.After(rto, c.onRTO)
+	c.rtoTimer = c.stack.loop.AfterTimer(rto, connRTO, c, nil)
 }
 
 func (c *Conn) onRTO() {
@@ -638,11 +679,12 @@ func (c *Conn) trySend() {
 			c.timedAt = c.stack.loop.Now()
 			c.timedRetrans = false
 		}
-		seg := &segment{key: c.key, seq: c.sndNxt, length: length, fromInit: c.initiator}
+		seg := c.stack.newSegment()
+		seg.key, seg.seq, seg.length, seg.fromInit = c.key, c.sndNxt, length, c.initiator
 		c.sndNxt += int64(length)
 		c.BytesSent += int64(length)
 		c.fillAndSend(seg)
-		if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+		if !c.stack.loop.Pending(c.rtoTimer) {
 			c.resetRTOTimer()
 		}
 	}
