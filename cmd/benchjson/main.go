@@ -1,48 +1,58 @@
 // Command benchjson measures the repo's headline performance numbers
-// and writes them to a machine-readable JSON file, seeding the
-// per-PR benchmark trajectory (BENCH_PR2.json, BENCH_PR3.json, ...).
+// and writes them to a machine-readable JSON file, the per-PR
+// benchmark trajectory (BENCH_PR2.json, BENCH_PR3.json, ...).
 //
-// Two benchmarks are recorded:
+// PR 3 (the default) benchmarks the LIVE thinner's payment hot path:
 //
-//   - sweep_serial: the §7.4-style capacity sweep on one worker — the
-//     same workload as BenchmarkSweepSerial in bench_test.go. Its
-//     events/sec is the throughput ceiling for every figure
-//     reproduction.
-//   - event_loop: a microbenchmark of the event core alone
-//     (self-rescheduling typed timers), isolating scheduler overhead
-//     from model code.
+//   - concurrent_ingest: N loopback POST /pay streams write 16 KB
+//     chunks for a fixed window; the result is server-side credited
+//     bytes/sec — speak-up's defining capacity, how much attacker
+//     bandwidth one front can absorb. The baseline is the pre-refactor
+//     global-lock front measured on the same harness (it collapses:
+//     one read-deadline poll mid-chunk permanently poisons net/http's
+//     chunked reader, so every stream stops crediting within ~1 s).
+//   - bidtable_credit: per-chunk credit on the sharded BidTable
+//     (cached channel, atomic add) via testing.Benchmark RunParallel.
+//   - ledger_credit_global_lock: the pre-refactor per-chunk model —
+//     one global mutex around the heap-backed ledger — measured live
+//     (the Ledger still serves the §5 quantum scheduler).
 //
-// The emitted file also carries the pre-change baseline for this PR
-// (measured on the same workload with the previous container/heap +
-// closure engine) so the speedup is auditable without checking out old
-// commits.
+// -pr 2 re-emits the PR 2 simulator measurements (sweep_serial,
+// event_loop) for trajectory continuity.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson                 # writes BENCH_PR2.json
-//	go run ./cmd/benchjson -out bench.json -benchtime 5x
+//	go run ./cmd/benchjson                  # writes BENCH_PR3.json
+//	go run ./cmd/benchjson -streams 64 -window 10s
+//	go run ./cmd/benchjson -pr 2 -out BENCH_PR2.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"speakup/internal/appsim"
+	"speakup/internal/core"
 	"speakup/internal/scenario"
 	"speakup/internal/sim"
 	"speakup/internal/sweep"
+	"speakup/internal/web"
 )
 
-// baseline is the pre-PR2 measurement of the identical sweep_serial
+// pr2Baseline is the pre-PR2 measurement of the identical sweep_serial
 // workload (commit 57671a7: container/heap event queue, two closures
 // per packet hop, append/reslice link queues, per-event heap nodes),
 // captured with go test -bench BenchmarkSweepSerial -benchmem.
-var baseline = metricsJSON{
+var pr2Baseline = metricsJSON{
 	Name:        "sweep_serial",
 	NsPerOp:     1331848517,
 	EventsPerOp: 2525243,
@@ -54,13 +64,30 @@ var baseline = metricsJSON{
 	Note:        "pre-PR2 engine (container/heap + closures), same workload and host class",
 }
 
+// pr3Baseline is the pre-refactor live front measured on the same
+// concurrent-ingest harness (32 streams, 8 s window, GOMAXPROCS=1
+// host): 78.7 MB credited in 8.1 s. Ingest flatlined at zero after
+// ~1 s — every stream's first read-deadline poll poisoned its chunked
+// reader — so the average flatters the old front; its steady state is
+// 0. At GOMAXPROCS>1 the old front GC-livelocks on this workload
+// (per-poll-tick allocations under the global lock) and completes no
+// window at all.
+var pr3Baseline = metricsJSON{
+	Name:        "concurrent_ingest",
+	BytesPerSec: 9687031,
+	MbitPerSec:  77.5,
+	Note:        "pre-refactor global-lock front (commit 7159e88), 32 streams x 8s, same host; steady-state ingest 0 after ~1s",
+}
+
 type metricsJSON struct {
 	Name         string  `json:"name"`
-	NsPerOp      int64   `json:"ns_per_op"`
+	NsPerOp      int64   `json:"ns_per_op,omitempty"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
+	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
+	MbitPerSec   float64 `json:"mbit_per_sec,omitempty"`
 	Note         string  `json:"note,omitempty"`
 }
 
@@ -73,8 +100,194 @@ type fileJSON struct {
 	NumCPU    int           `json:"num_cpu"`
 	Baseline  metricsJSON   `json:"baseline"`
 	Current   []metricsJSON `json:"current"`
-	Speedup   float64       `json:"speedup_events_per_sec_vs_baseline"`
+	Speedup   float64       `json:"speedup_vs_baseline"`
 }
+
+// ---- PR 3: live payment hot path ----
+
+// measureConcurrentIngest runs the fixed-window loopback harness: the
+// same workload the pr3Baseline was captured with.
+func measureConcurrentIngest(streams int, window time.Duration) metricsJSON {
+	block := make(chan struct{})
+	origin := web.OriginFunc(func(id core.RequestID) ([]byte, error) {
+		<-block
+		return []byte{}, nil
+	})
+	front := web.NewFront(origin, web.Config{
+		Thinner: core.Config{
+			OrphanTimeout:     time.Hour,
+			InactivityTimeout: time.Hour,
+			SweepInterval:     time.Hour,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := &http.Server{Handler: front}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	go http.Get(base + "/request?id=1") // occupy the origin
+	time.Sleep(50 * time.Millisecond)
+
+	payload := make([]byte, 16<<10)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2 * streams}}
+	for i := 0; i < streams; i++ {
+		id := 1000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pr, pw := io.Pipe()
+				req, _ := http.NewRequest(http.MethodPost,
+					fmt.Sprintf("%s/pay?id=%d", base, id), pr)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					resp, err := client.Do(req)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			write:
+				for {
+					select {
+					case <-stop:
+						break write
+					case <-done:
+						break write
+					default:
+					}
+					if _, err := pw.Write(payload); err != nil {
+						break
+					}
+				}
+				pw.Close()
+				<-done
+			}
+		}()
+	}
+
+	start := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(start)
+	credited := front.Table().TotalCredited()
+	close(stop)
+	wg.Wait()
+	close(block)
+	srv.Close()
+	front.Close()
+
+	bps := float64(credited) / elapsed.Seconds()
+	return metricsJSON{
+		Name:        "concurrent_ingest",
+		BytesPerSec: bps,
+		MbitPerSec:  bps * 8 / 1e6,
+		Note:        fmt.Sprintf("%d loopback POST /pay streams, %.1fs window, server-side credited bytes", streams, elapsed.Seconds()),
+	}
+}
+
+// measureCreditPaths benchmarks the per-chunk credit operation on the
+// sharded table vs the pre-refactor global-lock ledger model, each
+// against a 4096-contender population (the paper's attack regime),
+// with procs-way parallel crediting. On a host with fewer hardware
+// CPUs than procs this exercises goroutine-level contention only; on
+// real multicore hardware the same run shows the global lock's
+// cross-core collapse, so re-generate this file there to record it.
+func measureCreditPaths(procs int) (bidtable, locked metricsJSON) {
+	const pop = 4096
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	hw := ""
+	if runtime.NumCPU() < procs {
+		hw = fmt.Sprintf(" (host has %d hardware CPU(s): goroutine contention only)", runtime.NumCPU())
+	}
+	{
+		bt := core.NewBidTable(0)
+		for i := 0; i < pop; i++ {
+			id := core.RequestID(1_000_000 + i)
+			bt.Credit(id, int64(i), 0)
+			bt.MarkEligible(id, 0)
+		}
+		var mu sync.Mutex
+		next := core.RequestID(0)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				next++
+				id := next
+				mu.Unlock()
+				pc := bt.Channel(id, 0)
+				bt.MarkEligible(id, 0)
+				now := time.Duration(0)
+				for pb.Next() {
+					now += time.Microsecond
+					pc.Credit(16384, now)
+					if pc.State() != core.ChanActive {
+						b.Error("settled")
+						return
+					}
+				}
+			})
+		})
+		bidtable = metricsJSON{
+			Name: fmt.Sprintf("bidtable_credit_p%d", procs), NsPerOp: r.NsPerOp(),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+			Note: fmt.Sprintf("sharded atomic credit, %d contenders, GOMAXPROCS=%d%s", pop, procs, hw),
+		}
+	}
+	{
+		l := core.NewLedger()
+		for i := 0; i < pop; i++ {
+			id := core.RequestID(1_000_000 + i)
+			l.Credit(id, int64(i), 0)
+			l.MarkEligible(id, 0)
+		}
+		var mu sync.Mutex
+		var next core.RequestID
+		states := make(map[core.RequestID]int)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				next++
+				id := next
+				l.MarkEligible(id, 0)
+				states[id] = 0
+				mu.Unlock()
+				now := time.Duration(0)
+				for pb.Next() {
+					now += time.Microsecond
+					mu.Lock()
+					l.Credit(id, 16384, now)
+					st := states[id]
+					mu.Unlock()
+					if st != 0 {
+						b.Error("settled")
+						return
+					}
+				}
+			})
+		})
+		locked = metricsJSON{
+			Name: fmt.Sprintf("ledger_credit_global_lock_p%d", procs), NsPerOp: r.NsPerOp(),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+			Note: fmt.Sprintf("pre-refactor model: global mutex + heap ledger, %d contenders, GOMAXPROCS=%d%s", pop, procs, hw),
+		}
+	}
+	return bidtable, locked
+}
+
+// ---- PR 2: simulator measurements (kept for trajectory re-runs) ----
 
 // sweepGrid mirrors sweepBenchGrid in bench_test.go: the §7.4 capacity
 // axis at reduced duration.
@@ -156,27 +369,53 @@ func measureEventLoop() metricsJSON {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output file")
+	pr := flag.Int("pr", 3, "which PR's benchmark set to run (2 or 3)")
+	out := flag.String("out", "", "output file (default BENCH_PR<n>.json)")
+	streams := flag.Int("streams", 32, "concurrent payment streams for the ingest window")
+	window := flag.Duration("window", 8*time.Second, "ingest measurement window")
 	flag.Parse()
-
-	fmt.Fprintln(os.Stderr, "benchjson: measuring sweep_serial ...")
-	sweepM := measureSweepSerial()
-	fmt.Fprintf(os.Stderr, "  %.0f events/sec, %d allocs/op\n", sweepM.EventsPerSec, sweepM.AllocsPerOp)
-	fmt.Fprintln(os.Stderr, "benchjson: measuring event_loop ...")
-	loopM := measureEventLoop()
-	fmt.Fprintf(os.Stderr, "  %.1f ns/event, %d allocs/op\n", float64(loopM.NsPerOp), loopM.AllocsPerOp)
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_PR%d.json", *pr)
+	}
 
 	f := fileJSON{
-		PR:        2,
+		PR:        *pr,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
-		Baseline:  baseline,
-		Current:   []metricsJSON{sweepM, loopM},
 	}
-	f.Speedup = sweepM.EventsPerSec / baseline.EventsPerSec
+
+	switch *pr {
+	case 2:
+		fmt.Fprintln(os.Stderr, "benchjson: measuring sweep_serial ...")
+		sweepM := measureSweepSerial()
+		fmt.Fprintf(os.Stderr, "  %.0f events/sec, %d allocs/op\n", sweepM.EventsPerSec, sweepM.AllocsPerOp)
+		fmt.Fprintln(os.Stderr, "benchjson: measuring event_loop ...")
+		loopM := measureEventLoop()
+		fmt.Fprintf(os.Stderr, "  %.1f ns/event, %d allocs/op\n", float64(loopM.NsPerOp), loopM.AllocsPerOp)
+		f.Baseline = pr2Baseline
+		f.Current = []metricsJSON{sweepM, loopM}
+		f.Speedup = sweepM.EventsPerSec / pr2Baseline.EventsPerSec
+	case 3:
+		fmt.Fprintf(os.Stderr, "benchjson: measuring concurrent_ingest (%d streams, %s) ...\n", *streams, *window)
+		ingest := measureConcurrentIngest(*streams, *window)
+		fmt.Fprintf(os.Stderr, "  %.1f Mbit/s credited\n", ingest.MbitPerSec)
+		f.Current = []metricsJSON{ingest}
+		for _, procs := range []int{1, 8} {
+			fmt.Fprintf(os.Stderr, "benchjson: measuring per-chunk credit paths at GOMAXPROCS=%d ...\n", procs)
+			bidtable, locked := measureCreditPaths(procs)
+			fmt.Fprintf(os.Stderr, "  bidtable %d ns/op (%d allocs)   global-lock ledger %d ns/op\n",
+				bidtable.NsPerOp, bidtable.AllocsPerOp, locked.NsPerOp)
+			f.Current = append(f.Current, bidtable, locked)
+		}
+		f.Baseline = pr3Baseline
+		f.Speedup = ingest.BytesPerSec / pr3Baseline.BytesPerSec
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -pr %d\n", *pr)
+		os.Exit(2)
+	}
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -188,5 +427,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%.2fx events/sec vs baseline)\n", *out, f.Speedup)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%.2fx vs baseline)\n", *out, f.Speedup)
 }

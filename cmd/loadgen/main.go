@@ -6,21 +6,84 @@
 // Usage:
 //
 //	loadgen [-url http://localhost:8080] [-good 3] [-bad 3]
-//	        [-bw 2e6] [-post 1048576] [-duration 30s]
+//	        [-bw 2e6] [-post 1048576] [-duration 30s] [-json]
 //
-// It prints per-second progress and a final summary comparing the good
-// and bad clients' service rates.
+// Per-second progress goes to stderr. The final summary — per-class
+// service rates, admissions/sec, payment-ingest bits/sec, and latency
+// percentiles — prints human-readable to stdout, or as one JSON
+// object with -json (the shape cmd/benchjson and dashboards consume).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"speakup/internal/loadgen"
 )
+
+// classJSON summarizes one client class.
+type classJSON struct {
+	Clients       int     `json:"clients"`
+	Issued        uint64  `json:"issued"`
+	Offered       uint64  `json:"offered"`
+	Served        uint64  `json:"served"`
+	Failed        uint64  `json:"failed"`
+	SuccessRate   float64 `json:"success_rate"`
+	PaidBytes     int64   `json:"paid_bytes"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+}
+
+// summaryJSON is the -json output shape.
+type summaryJSON struct {
+	URL               string    `json:"url"`
+	DurationSec       float64   `json:"duration_sec"`
+	Good              classJSON `json:"good"`
+	Bad               classJSON `json:"bad"`
+	AdmissionsPerSec  float64   `json:"admissions_per_sec"`
+	PaymentBitsPerSec float64   `json:"payment_ingest_bits_per_sec"`
+}
+
+func tally(cs []*loadgen.Client) (issued, served uint64, paid int64) {
+	for _, c := range cs {
+		issued += c.Stats.Issued.Load()
+		served += c.Stats.Served.Load()
+		paid += c.Stats.PaidBytes.Load()
+	}
+	return
+}
+
+func classSummary(cs []*loadgen.Client) classJSON {
+	var out classJSON
+	out.Clients = len(cs)
+	// Percentiles are per-client histograms merged by worst-case: with
+	// identical configs inside a class the spread is small; report the
+	// max so regressions cannot hide behind a lucky client.
+	for _, c := range cs {
+		out.Issued += c.Stats.Issued.Load()
+		out.Offered += c.Stats.Offered()
+		out.Served += c.Stats.Served.Load()
+		out.Failed += c.Stats.Failed.Load()
+		out.PaidBytes += c.Stats.PaidBytes.Load()
+		out.LatencyP50Ms = max(out.LatencyP50Ms, ms(c.Stats.Latency.Quantile(0.50)))
+		out.LatencyP90Ms = max(out.LatencyP90Ms, ms(c.Stats.Latency.Quantile(0.90)))
+		out.LatencyP99Ms = max(out.LatencyP99Ms, ms(c.Stats.Latency.Quantile(0.99)))
+		out.LatencyMeanMs = max(out.LatencyMeanMs, ms(c.Stats.Latency.Mean()))
+	}
+	if out.Issued > 0 {
+		out.SuccessRate = float64(out.Served) / float64(out.Issued)
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func main() {
 	url := flag.String("url", "http://localhost:8080", "thinner base URL")
@@ -29,6 +92,7 @@ func main() {
 	bw := flag.Float64("bw", 2e6, "per-client upload bandwidth (bits/s)")
 	post := flag.Int("post", 1<<20, "payment POST size (bytes)")
 	duration := flag.Duration("duration", 30*time.Second, "run length")
+	jsonOut := flag.Bool("json", false, "emit the final summary as JSON on stdout")
 	flag.Parse()
 
 	var ids atomic.Uint64
@@ -52,31 +116,48 @@ func main() {
 	log.Printf("load: %d good + %d bad clients at %.1f Mbit/s each against %s",
 		*nGood, *nBad, *bw/1e6, *url)
 
-	tally := func(cs []*loadgen.Client) (issued, served uint64, paid int64) {
-		for _, c := range cs {
-			issued += c.Stats.Issued.Load()
-			served += c.Stats.Served.Load()
-			paid += c.Stats.PaidBytes.Load()
-		}
-		return
-	}
 	start := time.Now()
 	for time.Since(start) < *duration {
 		time.Sleep(time.Second)
 		gi, gs, _ := tally(good)
 		bi, bs, _ := tally(bad)
-		fmt.Printf("t=%3.0fs  good %d/%d served   bad %d/%d served\n",
+		fmt.Fprintf(os.Stderr, "t=%3.0fs  good %d/%d served   bad %d/%d served\n",
 			time.Since(start).Seconds(), gs, gi, bs, bi)
 	}
-	for _, c := range append(good, bad...) {
+	for _, c := range append(append([]*loadgen.Client{}, good...), bad...) {
 		c.Stop()
 	}
-	gi, gs, gp := tally(good)
-	bi, bs, bp := tally(bad)
-	fmt.Printf("\nfinal: good served %d/%d (paid %.1f MB)   bad served %d/%d (paid %.1f MB)\n",
-		gs, gi, float64(gp)/1e6, bs, bi, float64(bp)/1e6)
-	if gi > 0 && bi > 0 {
-		fmt.Printf("per-request success: good %.2f vs bad %.2f\n",
-			float64(gs)/float64(gi), float64(bs)/float64(bi))
+	elapsed := time.Since(start)
+
+	sum := summaryJSON{
+		URL:         *url,
+		DurationSec: elapsed.Seconds(),
+		Good:        classSummary(good),
+		Bad:         classSummary(bad),
 	}
+	served := sum.Good.Served + sum.Bad.Served
+	paid := sum.Good.PaidBytes + sum.Bad.PaidBytes
+	sum.AdmissionsPerSec = float64(served) / elapsed.Seconds()
+	sum.PaymentBitsPerSec = float64(paid) * 8 / elapsed.Seconds()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("\nfinal: good served %d/%d (paid %.1f MB)   bad served %d/%d (paid %.1f MB)\n",
+		sum.Good.Served, sum.Good.Issued, float64(sum.Good.PaidBytes)/1e6,
+		sum.Bad.Served, sum.Bad.Issued, float64(sum.Bad.PaidBytes)/1e6)
+	if sum.Good.Issued > 0 && sum.Bad.Issued > 0 {
+		fmt.Printf("per-request success: good %.2f vs bad %.2f\n",
+			sum.Good.SuccessRate, sum.Bad.SuccessRate)
+	}
+	fmt.Printf("throughput: %.1f admissions/sec, payment ingest %.1f Mbit/s\n",
+		sum.AdmissionsPerSec, sum.PaymentBitsPerSec/1e6)
+	fmt.Printf("latency (ms): good p50=%.0f p90=%.0f p99=%.0f   bad p50=%.0f p90=%.0f p99=%.0f\n",
+		sum.Good.LatencyP50Ms, sum.Good.LatencyP90Ms, sum.Good.LatencyP99Ms,
+		sum.Bad.LatencyP50Ms, sum.Bad.LatencyP90Ms, sum.Bad.LatencyP99Ms)
 }

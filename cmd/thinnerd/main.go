@@ -1,10 +1,11 @@
 // Command thinnerd serves the speak-up thinner over HTTP, protecting
 // an emulated origin — the live counterpart of the paper's §6
-// prototype.
+// prototype, hardened into a real daemon.
 //
 // Usage:
 //
 //	thinnerd [-addr :8080] [-capacity 10] [-orphan 10s]
+//	         [-shards 0] [-drain 15s] [-pprof localhost:6060]
 //
 // Endpoints: /request?id=N (the request; 402 + Speakup-Action: pay
 // when the origin is busy), /pay?id=N (payment channel: stream dummy
@@ -13,12 +14,23 @@
 //
 //	curl 'http://localhost:8080/request?id=1'
 //	curl -X POST --data-binary @bigfile 'http://localhost:8080/pay?id=2'
+//
+// Payment ingest is sharded (-shards, rounded up to a power of two,
+// default GOMAXPROCS-scaled): every /pay stream credits its channel's
+// atomics without locks, so ingest scales with cores. SIGINT/SIGTERM
+// drains gracefully: the listener closes, in-flight requests get
+// -drain to finish, then the front's timers stop.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -pprof
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"speakup"
@@ -29,17 +41,61 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	capacity := flag.Float64("capacity", 10, "origin capacity in requests/second")
 	orphan := flag.Duration("orphan", 10*time.Second, "evict request-less payment channels after this long")
+	shards := flag.Int("shards", 0, "bid-table shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060)")
 	flag.Parse()
 
 	origin := speakup.NewEmulatedOrigin(*capacity)
 	front := speakup.NewFront(origin, speakup.FrontConfig{
-		Thinner: core.Config{OrphanTimeout: *orphan},
+		Thinner: core.Config{OrphanTimeout: *orphan, Shards: *shards},
 	})
-	defer front.Close()
 
-	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s)", *addr, *capacity)
-	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats")
-	if err := http.ListenAndServe(*addr, front); err != nil {
-		log.Fatal(err)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: front,
+		// Bound header reads so a header-slowloris cannot pin
+		// connections; body reads stay unbounded — /pay streams long
+		// payment bodies by design, and /request holds its response
+		// until the auction is won.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s, %d ingest shards)",
+		*addr, *capacity, front.Table().Shards())
+	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats")
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+
+	log.Printf("shutdown: draining in-flight requests for up to %s", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete (%v); closing remaining connections", err)
+		srv.Close()
+	}
+	front.Close()
+	st := front.Snapshot()
+	log.Printf("final: served=%d payment=%0.1f MB (%.1f Mbit/s) auctions=%d evicted=%d",
+		st.Served, float64(st.PaymentBytes)/1e6, st.PaymentMbps,
+		st.ThinnerTotals.Auctions, st.ThinnerTotals.Evicted)
 }

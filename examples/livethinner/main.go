@@ -23,7 +23,13 @@ import (
 
 func main() {
 	origin := speakup.NewEmulatedOrigin(5)
-	front := speakup.NewFront(origin, speakup.FrontConfig{})
+	// Shards sets the payment table's concurrency (rounded to a power
+	// of two; 0 would pick a GOMAXPROCS-scaled default). Payment chunks
+	// credit their channel's atomics without locks, so ingest scales
+	// with cores while the auction stays single-threaded.
+	front := speakup.NewFront(origin, speakup.FrontConfig{
+		Thinner: speakup.ThinnerConfig{Shards: 8},
+	})
 	defer front.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -51,14 +57,16 @@ func main() {
 	for i := 0; i < 6; i++ {
 		time.Sleep(time.Second)
 		st := front.Snapshot()
-		fmt.Printf("t=%ds  served=%-4d contenders=%-3d going-rate=%6.1fKB  payment sunk=%5.1fMbit/s\n",
-			i+1, st.Served, st.Contenders, float64(st.GoingRate)/1000, st.PaymentMbps)
+		fmt.Printf("t=%ds  served=%-4d contenders=%-3d going-rate=%6.1fKB  payment sunk=%5.1fMbit/s  (%d shards)\n",
+			i+1, st.Served, st.Contenders, float64(st.GoingRate)/1000, st.PaymentMbps, st.Shards)
 	}
 	good.Stop()
 	bad.Stop()
 
-	fmt.Printf("\ngood client: served %d of %d issued\n", good.Stats.Served.Load(), good.Stats.Issued.Load())
-	fmt.Printf("bad client:  served %d of %d issued\n", bad.Stats.Served.Load(), bad.Stats.Issued.Load())
+	fmt.Printf("\ngood client: served %d of %d issued (p50 %s)\n",
+		good.Stats.Served.Load(), good.Stats.Issued.Load(), good.Stats.Latency.Quantile(0.5))
+	fmt.Printf("bad client:  served %d of %d issued (p50 %s)\n",
+		bad.Stats.Served.Load(), bad.Stats.Issued.Load(), bad.Stats.Latency.Quantile(0.5))
 	fmt.Println("\nWith equal uplinks the good client holds a far larger per-request")
 	fmt.Println("success rate: its rare requests outbid the attacker's flood.")
 }

@@ -266,7 +266,7 @@ func TestWinnerPaymentChannelTerminated(t *testing.T) {
 	}
 	r.loop.Run(60 * time.Second) // drain
 	// All outcomes reported; ledger near-empty (only in-flight stragglers).
-	if n := r.thinner.Auction().Ledger().Size(); n > 4 {
+	if n := r.thinner.Auction().Table().Size(); n > 4 {
 		t.Fatalf("ledger still holds %d entries after drain", n)
 	}
 }

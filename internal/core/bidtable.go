@@ -1,0 +1,471 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the BidTable: the concurrent payment ledger
+// behind the live thinner's hot path.
+//
+// Speak-up's defining asymmetry is that the thinner must *ingest* far
+// more traffic than the origin ever serves — payment bytes dwarf
+// request bytes (§3, §6) — so crediting a payment chunk must cost
+// almost nothing and must never serialize behind other channels.
+// The BidTable therefore shards payment channels across a power-of-two
+// array by RequestID hash. Each channel (PayChan) carries an atomic
+// byte counter, an atomic last-activity timestamp, and an atomic state
+// word; crediting is a couple of atomic stores with no locks. The
+// auction — which runs only when the origin frees up, i.e. rarely —
+// scans per-shard lazily-maintained maxima instead of a globally
+// locked structure, so the rare reader pays and the constant writers
+// don't.
+//
+// Concurrency contract:
+//
+//   - Credit (via a cached *PayChan) is safe from any goroutine and is
+//     lock-free.
+//   - Channel/Lookup/waiter registration take one shard lock; they sit
+//     on the once-per-request path, not the per-chunk path.
+//   - MarkEligible, Remove, Winner, Orphans, and Inactive are the
+//     auctioneer's structural operations: they are individually
+//     thread-safe, but the auction policy (core.Thinner) must run them
+//     from one goroutine to keep its single-threaded semantics. The
+//     deterministic simulator and the live front both obey this.
+//
+// Shard count never affects auction outcomes — the winner is the
+// global (paid desc, id asc) maximum however channels are distributed
+// — so the simulator stays bit-for-bit deterministic for any setting.
+
+// ChanState is a payment channel's lifecycle word. A channel starts
+// ChanActive; settling it (auction win or eviction) publishes exactly
+// one of the final states via compare-and-swap, which in-flight
+// payment POSTs observe between chunks.
+type ChanState int32
+
+const (
+	// ChanActive: the channel is open and accepting payment.
+	ChanActive ChanState = iota
+	// ChanAdmitted: the request won an auction (or was admitted
+	// directly); the client should stop paying and await service.
+	ChanAdmitted
+	// ChanEvicted: the channel timed out (orphaned or inactive); its
+	// payment is wasted and the client should stop sending.
+	ChanEvicted
+)
+
+// String implements fmt.Stringer.
+func (s ChanState) String() string {
+	switch s {
+	case ChanActive:
+		return "active"
+	case ChanAdmitted:
+		return "admitted"
+	case ChanEvicted:
+		return "evicted"
+	}
+	return "invalid"
+}
+
+// PayChan is one request's payment channel. Transports obtain it once
+// per POST (Channel) and then credit every chunk through it without
+// taking any lock.
+type PayChan struct {
+	id      RequestID
+	shard   *bidShard
+	created time.Duration // clock reading at creation; immutable
+
+	paid     atomic.Int64 // bytes credited
+	lastPay  atomic.Int64 // clock reading (ns) of the last credit
+	state    atomic.Int32 // ChanState word
+	eligible atomic.Bool  // request message has arrived
+}
+
+// ID returns the channel's request id.
+func (c *PayChan) ID() RequestID { return c.id }
+
+// Paid returns the bytes credited so far.
+func (c *PayChan) Paid() int64 { return c.paid.Load() }
+
+// State returns the channel's lifecycle word. Payment loops poll this
+// between chunks; a non-active value means stop reading and report the
+// verdict.
+func (c *PayChan) State() ChanState { return ChanState(c.state.Load()) }
+
+// Credit adds bytes to the channel's balance — the payment hot path:
+// a handful of atomic operations, no locks, no allocation. Credits
+// arriving after the channel settled are dropped and report false.
+// now is the caller's clock reading, used for inactivity accounting.
+func (c *PayChan) Credit(bytes int64, now time.Duration) bool {
+	if bytes < 0 {
+		panic("core: negative payment")
+	}
+	if ChanState(c.state.Load()) != ChanActive {
+		return false
+	}
+	c.paid.Add(bytes)
+	if ChanState(c.state.Load()) != ChanActive {
+		// Settled between the check and the add: roll back so the
+		// caller's tally, the shard totals, and the recorded admission
+		// price stay aligned. (A settle racing the handful of
+		// instructions between the add and this re-check can still
+		// capture or miss one in-flight chunk in the price — bounded,
+		// stats-only, and unavoidable without locking the hot path.)
+		c.paid.Add(-bytes)
+		return false
+	}
+	c.lastPay.Store(int64(now))
+	s := c.shard
+	s.credited.Add(bytes)
+	// The paid update above must precede the dirty flag (both are
+	// seq-cst): a concurrent maxima scan that clears dirty before this
+	// store will rescan next auction; one that clears it after will
+	// already observe the new balance.
+	if c.eligible.Load() {
+		s.dirty.Store(true)
+	}
+	return true
+}
+
+// bidShard is one slot of the table. The mutex guards the maps
+// (structural changes and waiter registration); balances are read and
+// written through the channels' atomics. The trailing pad keeps
+// adjacent shards' hot counters off a shared cache line.
+type bidShard struct {
+	mu      sync.RWMutex
+	chans   map[RequestID]*PayChan
+	waiters map[RequestID]any
+
+	nelig    atomic.Int64 // eligible channels in this shard
+	dirty    atomic.Bool  // eligible balances changed since last scan
+	hintPaid atomic.Int64 // cached shard maximum (valid while !dirty)
+	hintID   atomic.Uint64
+	credited atomic.Int64 // bytes ever credited to this shard
+	removed  atomic.Int64 // bytes settled out of this shard
+
+	_ [40]byte
+}
+
+// BidTable is the concurrent payment-accounting table: sharded
+// channels, lock-free crediting, and a lazily-maintained per-shard
+// maximum for the (rare) auction scan. Create with NewBidTable.
+type BidTable struct {
+	shards []bidShard
+	mask   uint64 // len(shards)-1; len is a power of two
+}
+
+// NewBidTable creates a table with the given shard count, rounded up
+// to a power of two. shards <= 0 selects a GOMAXPROCS-scaled default.
+// Shard count affects only contention, never auction outcomes.
+func NewBidTable(shards int) *BidTable {
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards && n < 1<<14 {
+		n <<= 1
+	}
+	t := &BidTable{shards: make([]bidShard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].chans = make(map[RequestID]*PayChan)
+		t.shards[i].waiters = make(map[RequestID]any)
+	}
+	return t
+}
+
+// Shards returns the shard count (a power of two).
+func (t *BidTable) Shards() int { return len(t.shards) }
+
+func (t *BidTable) shard(id RequestID) *bidShard {
+	// Fibonacci hashing: sequential ids (the common case — clients
+	// draw from a shared counter) spread uniformly across shards. The
+	// well-mixed high half selects the shard.
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &t.shards[(h>>32)&t.mask]
+}
+
+// Channel returns id's payment channel, creating it (active,
+// ineligible) if absent. Transports call this once per POST and then
+// credit chunks through the returned channel.
+func (t *BidTable) Channel(id RequestID, now time.Duration) *PayChan {
+	s := t.shard(id)
+	s.mu.RLock()
+	c := s.chans[id]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	if c = s.chans[id]; c == nil {
+		c = &PayChan{id: id, shard: s, created: now}
+		c.lastPay.Store(int64(now))
+		s.chans[id] = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// Lookup returns id's channel or nil.
+func (t *BidTable) Lookup(id RequestID) *PayChan {
+	s := t.shard(id)
+	s.mu.RLock()
+	c := s.chans[id]
+	s.mu.RUnlock()
+	return c
+}
+
+// Credit adds bytes to id's balance, creating the channel if absent —
+// the single-goroutine (simulator) entry point. Concurrent transports
+// should cache the *PayChan instead and credit through it.
+func (t *BidTable) Credit(id RequestID, bytes int64, now time.Duration) {
+	t.Channel(id, now).Credit(bytes, now)
+}
+
+// MarkEligible records that id's request message has arrived, creating
+// the channel if needed. Eligible channels participate in auctions.
+func (t *BidTable) MarkEligible(id RequestID, now time.Duration) {
+	c := t.Channel(id, now)
+	s := c.shard
+	s.mu.Lock()
+	if !c.eligible.Load() {
+		c.eligible.Store(true)
+		s.nelig.Add(1)
+		s.dirty.Store(true)
+	}
+	s.mu.Unlock()
+}
+
+// Remove settles id's channel: deletes it from the table, publishes
+// final as its state word (the first settle wins; later ones are
+// no-ops), and returns its final balance. Unknown ids return 0.
+func (t *BidTable) Remove(id RequestID, final ChanState) int64 {
+	s := t.shard(id)
+	s.mu.Lock()
+	c := s.chans[id]
+	if c == nil {
+		s.mu.Unlock()
+		return 0
+	}
+	delete(s.chans, id)
+	if c.eligible.Load() {
+		c.eligible.Store(false)
+		s.nelig.Add(-1)
+		s.dirty.Store(true)
+	}
+	s.mu.Unlock()
+	c.state.CompareAndSwap(int32(ChanActive), int32(final))
+	paid := c.paid.Load()
+	s.removed.Add(paid)
+	return paid
+}
+
+// Winner returns the eligible channel with the highest balance (ties
+// to the lowest id, like the single-threaded ledger). ok is false when
+// nothing is eligible. Only shards whose balances changed since the
+// last call are rescanned; clean shards answer from their cached
+// maximum.
+func (t *BidTable) Winner() (id RequestID, paid int64, ok bool) {
+	var bestID RequestID
+	var bestPaid int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		if s.nelig.Load() == 0 {
+			continue
+		}
+		if s.dirty.Load() {
+			// Clear before scanning: a credit racing the scan re-marks
+			// the shard, so its update is seen now or next auction.
+			s.dirty.Store(false)
+			s.refreshHint()
+		}
+		p := s.hintPaid.Load()
+		if p < 0 {
+			continue // raced to empty between the count check and scan
+		}
+		sid := RequestID(s.hintID.Load())
+		if !ok || p > bestPaid || (p == bestPaid && sid < bestID) {
+			bestPaid, bestID, ok = p, sid, true
+		}
+	}
+	return bestID, bestPaid, ok
+}
+
+// refreshHint recomputes the shard's cached (paid, id) maximum over
+// its eligible channels. Selection by (paid desc, id asc) is a total
+// order, so map iteration order never changes the result.
+func (s *bidShard) refreshHint() {
+	s.mu.RLock()
+	var bestID RequestID
+	bestPaid := int64(-1)
+	for id, c := range s.chans {
+		if !c.eligible.Load() {
+			continue
+		}
+		p := c.paid.Load()
+		if p > bestPaid || (p == bestPaid && id < bestID) {
+			bestPaid, bestID = p, id
+		}
+	}
+	s.mu.RUnlock()
+	s.hintPaid.Store(bestPaid)
+	s.hintID.Store(uint64(bestID))
+}
+
+// Orphans appends to dst the ids of ineligible channels created at or
+// before cutoff (payment arrived but the request never did).
+func (t *BidTable) Orphans(dst []RequestID, cutoff time.Duration) []RequestID {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for id, c := range s.chans {
+			if !c.eligible.Load() && c.created <= cutoff {
+				dst = append(dst, id)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// Inactive appends to dst the ids of eligible channels with no payment
+// activity since cutoff.
+func (t *BidTable) Inactive(dst []RequestID, cutoff time.Duration) []RequestID {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for id, c := range s.chans {
+			if c.eligible.Load() && time.Duration(c.lastPay.Load()) <= cutoff {
+				dst = append(dst, id)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// Balance returns id's current balance (0 if unknown).
+func (t *BidTable) Balance(id RequestID) int64 {
+	if c := t.Lookup(id); c != nil {
+		return c.paid.Load()
+	}
+	return 0
+}
+
+// Contains reports whether id has a channel (eligible or not).
+func (t *BidTable) Contains(id RequestID) bool { return t.Lookup(id) != nil }
+
+// Eligible returns the number of channels eligible to win an auction.
+func (t *BidTable) Eligible() int {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].nelig.Load()
+	}
+	return int(n)
+}
+
+// Size returns the total number of channels, including orphans.
+func (t *BidTable) Size() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.chans)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// OutstandingBytes returns the sum of all open channels' balances.
+func (t *BidTable) OutstandingBytes() int64 {
+	var sum int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, c := range s.chans {
+			sum += c.paid.Load()
+		}
+		s.mu.RUnlock()
+	}
+	return sum
+}
+
+// TotalCredited returns the bytes ever credited across all channels.
+func (t *BidTable) TotalCredited() int64 {
+	var sum int64
+	for i := range t.shards {
+		sum += t.shards[i].credited.Load()
+	}
+	return sum
+}
+
+// TotalRemoved returns the bytes settled out of the table (admitted
+// prices plus evicted waste).
+func (t *BidTable) TotalRemoved() int64 {
+	var sum int64
+	for i := range t.shards {
+		sum += t.shards[i].removed.Load()
+	}
+	return sum
+}
+
+// Waiter registration. The live front parks each held request's
+// response channel here, keyed by id in the same shards as the payment
+// channels, so registration contends only within a shard. Waiters have
+// their own lifecycle: settling a payment channel does not disturb the
+// waiter (the origin response is delivered after service completes).
+
+// SetWaiter registers w as id's transport waiter. It reports false —
+// registering nothing — if a waiter is already present, which the
+// front surfaces as a duplicate-request error.
+func (t *BidTable) SetWaiter(id RequestID, w any) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	if _, dup := s.waiters[id]; dup {
+		s.mu.Unlock()
+		return false
+	}
+	s.waiters[id] = w
+	s.mu.Unlock()
+	return true
+}
+
+// TakeWaiter removes and returns id's waiter, or nil if none.
+func (t *BidTable) TakeWaiter(id RequestID) any {
+	s := t.shard(id)
+	s.mu.Lock()
+	w, ok := s.waiters[id]
+	if ok {
+		delete(s.waiters, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return w
+}
+
+// DropWaiter removes id's waiter only if it is still w (the caller's
+// own registration) — the disconnect/timeout path, which must not
+// clobber a successor's registration.
+func (t *BidTable) DropWaiter(id RequestID, w any) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if cur, ok := s.waiters[id]; ok && cur == w {
+		delete(s.waiters, id)
+	}
+	s.mu.Unlock()
+}
+
+// Waiters returns the number of registered waiters.
+func (t *BidTable) Waiters() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.waiters)
+		s.mu.RUnlock()
+	}
+	return n
+}

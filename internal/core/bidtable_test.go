@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBidTableCreditAndWinner(t *testing.T) {
+	bt := NewBidTable(8)
+	bt.Credit(1, 100, 0)
+	bt.Credit(2, 500, 0)
+	bt.Credit(3, 500, 0)
+	if _, _, ok := bt.Winner(); ok {
+		t.Fatal("no eligible channels, yet a winner")
+	}
+	bt.MarkEligible(2, 0)
+	bt.MarkEligible(3, 0)
+	id, paid, ok := bt.Winner()
+	if !ok || id != 2 || paid != 500 {
+		t.Fatalf("winner = %d/%d/%v, want 2/500 (tie to lowest id)", id, paid, ok)
+	}
+	bt.Credit(3, 1, 0)
+	if id, paid, _ = bt.Winner(); id != 3 || paid != 501 {
+		t.Fatalf("winner after top-up = %d/%d, want 3/501", id, paid)
+	}
+	if bt.Balance(1) != 100 || !bt.Contains(1) {
+		t.Fatal("orphan channel lost")
+	}
+	if bt.Eligible() != 2 || bt.Size() != 3 {
+		t.Fatalf("eligible=%d size=%d, want 2/3", bt.Eligible(), bt.Size())
+	}
+}
+
+func TestBidTableRemoveSettlesState(t *testing.T) {
+	bt := NewBidTable(4)
+	c := bt.Channel(7, 0)
+	c.Credit(250, 0)
+	bt.MarkEligible(7, 0)
+	if c.State() != ChanActive {
+		t.Fatal("fresh channel not active")
+	}
+	if paid := bt.Remove(7, ChanAdmitted); paid != 250 {
+		t.Fatalf("removed paid = %d, want 250", paid)
+	}
+	if c.State() != ChanAdmitted {
+		t.Fatalf("state = %v, want admitted", c.State())
+	}
+	if bt.Contains(7) || bt.Eligible() != 0 {
+		t.Fatal("channel not removed")
+	}
+	// Credits after settle are dropped, and a second settle cannot
+	// overwrite the verdict.
+	c.Credit(1000, 0)
+	if c.Paid() != 250 {
+		t.Fatalf("post-settle credit accepted: %d", c.Paid())
+	}
+	if bt.Remove(7, ChanEvicted); c.State() != ChanAdmitted {
+		t.Fatal("second settle overwrote the verdict")
+	}
+	// A new POST for the same id opens a fresh, active channel.
+	c2 := bt.Channel(7, 0)
+	if c2 == c || c2.State() != ChanActive || c2.Paid() != 0 {
+		t.Fatal("stale channel resurrected")
+	}
+}
+
+func TestBidTableWinnerAcrossShards(t *testing.T) {
+	// One channel per shard, so the auction must compare shard maxima.
+	bt := NewBidTable(16)
+	for i := 1; i <= 64; i++ {
+		bt.Credit(RequestID(i), int64(i), 0)
+		bt.MarkEligible(RequestID(i), 0)
+	}
+	id, paid, ok := bt.Winner()
+	if !ok || id != 64 || paid != 64 {
+		t.Fatalf("winner = %d/%d, want 64/64", id, paid)
+	}
+	// Remove the top repeatedly: the table must always surface the
+	// next-highest, exercising stale-hint refresh on dirty shards.
+	for want := int64(64); want >= 1; want-- {
+		id, paid, ok := bt.Winner()
+		if !ok || paid != want || id != RequestID(want) {
+			t.Fatalf("winner = %d/%d/%v, want %d", id, paid, ok, want)
+		}
+		bt.Remove(id, ChanAdmitted)
+	}
+	if _, _, ok := bt.Winner(); ok {
+		t.Fatal("drained table still has a winner")
+	}
+}
+
+func TestBidTableOrphansAndInactive(t *testing.T) {
+	bt := NewBidTable(4)
+	bt.Credit(1, 10, 1*time.Second) // orphan, created t=1s
+	bt.Credit(2, 10, 5*time.Second) // orphan, created t=5s
+	bt.Credit(3, 10, 1*time.Second)
+	bt.MarkEligible(3, 1*time.Second) // eligible, last pay t=1s
+	bt.MarkEligible(4, 8*time.Second) // eligible, created/last pay t=8s
+
+	var ids []RequestID
+	ids = bt.Orphans(ids, 2*time.Second)
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("orphans = %v, want [1]", ids)
+	}
+	ids = bt.Inactive(ids[:0], 2*time.Second)
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("inactive = %v, want [3]", ids)
+	}
+	// Paying refreshes activity.
+	bt.Credit(3, 1, 9*time.Second)
+	if ids = bt.Inactive(ids[:0], 2*time.Second); len(ids) != 0 {
+		t.Fatalf("paying contender still inactive: %v", ids)
+	}
+}
+
+func TestBidTableTotals(t *testing.T) {
+	bt := NewBidTable(2)
+	bt.Credit(1, 100, 0)
+	bt.Credit(2, 300, 0)
+	if bt.TotalCredited() != 400 || bt.OutstandingBytes() != 400 {
+		t.Fatalf("credited=%d outstanding=%d", bt.TotalCredited(), bt.OutstandingBytes())
+	}
+	bt.Remove(1, ChanEvicted)
+	if bt.TotalRemoved() != 100 || bt.OutstandingBytes() != 300 {
+		t.Fatalf("removed=%d outstanding=%d", bt.TotalRemoved(), bt.OutstandingBytes())
+	}
+}
+
+func TestBidTableWaiters(t *testing.T) {
+	bt := NewBidTable(4)
+	w1, w2 := make(chan []byte, 1), make(chan []byte, 1)
+	if !bt.SetWaiter(5, w1) {
+		t.Fatal("first registration refused")
+	}
+	if bt.SetWaiter(5, w2) {
+		t.Fatal("duplicate registration accepted")
+	}
+	// DropWaiter only removes the caller's own registration.
+	bt.DropWaiter(5, w2)
+	if bt.Waiters() != 1 {
+		t.Fatal("foreign drop removed the waiter")
+	}
+	if got := bt.TakeWaiter(5); got != any(w1) {
+		t.Fatalf("took %v, want w1", got)
+	}
+	if bt.TakeWaiter(5) != nil || bt.Waiters() != 0 {
+		t.Fatal("waiter not consumed")
+	}
+	bt.SetWaiter(5, w1)
+	bt.DropWaiter(5, w1)
+	if bt.Waiters() != 0 {
+		t.Fatal("own drop did not remove the waiter")
+	}
+}
+
+func TestBidTableNegativeCreditPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative payment did not panic")
+		}
+	}()
+	NewBidTable(1).Credit(1, -5, 0)
+}
+
+func TestBidTableShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewBidTable(tc.in).Shards(); got != tc.want {
+			t.Fatalf("NewBidTable(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewBidTable(0).Shards(); got < 1 {
+		t.Fatalf("default shards = %d", got)
+	}
+}
+
+// TestBidTableMatchesLedger cross-checks the concurrent table against
+// the single-threaded ledger on a deterministic op mix: same credits,
+// same eligibility, same winners, same totals — the property the
+// simulator's byte-identical goldens rest on.
+func TestBidTableMatchesLedger(t *testing.T) {
+	for _, shards := range []int{1, 4, 64} {
+		bt := NewBidTable(shards)
+		l := NewLedger()
+		rng := uint64(12345)
+		next := func(n uint64) uint64 { // xorshift
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng % n
+		}
+		now := time.Duration(0)
+		for step := 0; step < 5000; step++ {
+			now += time.Millisecond
+			id := RequestID(next(40))
+			switch next(4) {
+			case 0, 1:
+				amt := int64(next(1000))
+				bt.Credit(id, amt, now)
+				l.Credit(id, amt, now)
+			case 2:
+				bt.MarkEligible(id, now)
+				l.MarkEligible(id, now)
+			case 3:
+				bi, bp, bok := bt.Winner()
+				li, lp, lok := l.Winner()
+				if bi != li || bp != lp || bok != lok {
+					t.Fatalf("shards=%d step %d: winner %d/%d/%v vs ledger %d/%d/%v",
+						shards, step, bi, bp, bok, li, lp, lok)
+				}
+				if bok {
+					bt.Remove(bi, ChanAdmitted)
+					l.Remove(li)
+				}
+			}
+		}
+		if bt.Eligible() != l.Eligible() || bt.Size() != l.Size() ||
+			bt.OutstandingBytes() != l.OutstandingBytes() ||
+			bt.TotalCredited() != l.TotalCredited ||
+			bt.TotalRemoved() != l.TotalRemoved {
+			t.Fatalf("shards=%d: totals diverged: table(e=%d n=%d out=%d cr=%d rm=%d) ledger(e=%d n=%d out=%d cr=%d rm=%d)",
+				shards,
+				bt.Eligible(), bt.Size(), bt.OutstandingBytes(), bt.TotalCredited(), bt.TotalRemoved(),
+				l.Eligible(), l.Size(), l.OutstandingBytes(), l.TotalCredited, l.TotalRemoved)
+		}
+	}
+}
+
+// TestBidTableConcurrentCredit hammers credits from many goroutines
+// while an auctioneer runs winners/removals — run under -race in CI's
+// live-race job.
+func TestBidTableConcurrentCredit(t *testing.T) {
+	bt := NewBidTable(8)
+	const payers = 32
+	const credits = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < payers; p++ {
+		id := RequestID(p)
+		bt.MarkEligible(id, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pc := bt.Channel(id, 0)
+			for i := 0; i < credits; i++ {
+				pc.Credit(10, time.Duration(i))
+			}
+		}()
+	}
+	// Concurrent auctioneer: winners must always be live channels.
+	stop := make(chan struct{})
+	var auctions sync.WaitGroup
+	auctions.Add(1)
+	go func() {
+		defer auctions.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bt.Winner()
+			bt.Orphans(nil, time.Hour)
+			bt.Inactive(nil, -time.Hour)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	auctions.Wait()
+	if got, want := bt.TotalCredited(), int64(payers*credits*10); got != want {
+		t.Fatalf("credited = %d, want %d (lost updates)", got, want)
+	}
+	id, paid, ok := bt.Winner()
+	if !ok || paid != credits*10 {
+		t.Fatalf("final winner %d/%d/%v, want full balance %d", id, paid, ok, credits*10)
+	}
+}
+
+// TestPayChanCreditAllocs is the PR 3 analog of the simulator's
+// zero-alloc invariant: crediting a payment chunk — the operation the
+// live front performs for every 16 KB of attacker traffic — must not
+// allocate.
+func TestPayChanCreditAllocs(t *testing.T) {
+	bt := NewBidTable(8)
+	pc := bt.Channel(42, 0)
+	bt.MarkEligible(42, 0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		pc.Credit(16384, 5*time.Millisecond)
+		if pc.State() != ChanActive {
+			t.Fatal("channel settled mid-test")
+		}
+	}); avg != 0 {
+		t.Fatalf("credit path allocates %.1f/op, want 0", avg)
+	}
+}
+
+// Contender populations for the credit benchmarks: a small auction
+// and the paper's regime — thousands of concurrent payment channels
+// during an attack.
+var creditPopulations = []int{8, 4096}
+
+// BenchmarkBidTableCredit measures the sharded per-chunk credit path
+// against a populated table: each goroutine owns one payment channel
+// and credits through its atomics, the way /pay handlers do. Cost is
+// O(1) and lock-free regardless of how many channels contend.
+func BenchmarkBidTableCredit(b *testing.B) {
+	for _, pop := range creditPopulations {
+		b.Run(fmt.Sprintf("contenders=%d", pop), func(b *testing.B) {
+			bt := NewBidTable(0)
+			for i := 0; i < pop; i++ {
+				id := RequestID(1_000_000 + i)
+				bt.Credit(id, int64(i), 0)
+				bt.MarkEligible(id, 0)
+			}
+			var mu sync.Mutex
+			nextID := RequestID(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				nextID++
+				id := nextID
+				mu.Unlock()
+				pc := bt.Channel(id, 0)
+				bt.MarkEligible(id, 0)
+				now := time.Duration(0)
+				for pb.Next() {
+					now += time.Microsecond
+					pc.Credit(16384, now)
+					if pc.State() != ChanActive {
+						b.Error("settled")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkLedgerCreditGlobalLock is the pre-refactor model: every
+// credit takes one global mutex around the heap-backed ledger, exactly
+// as internal/web did before the BidTable (mutex + Ledger.Credit with
+// its O(log n) heap fix + pay-state map read). Compare against
+// BenchmarkBidTableCredit for the sharding win; benchjson records both
+// in BENCH_PR3.json.
+func BenchmarkLedgerCreditGlobalLock(b *testing.B) {
+	for _, pop := range creditPopulations {
+		b.Run(fmt.Sprintf("contenders=%d", pop), func(b *testing.B) {
+			l := NewLedger()
+			for i := 0; i < pop; i++ {
+				id := RequestID(1_000_000 + i)
+				l.Credit(id, int64(i), 0)
+				l.MarkEligible(id, 0)
+			}
+			var mu sync.Mutex
+			var nextID RequestID
+			states := make(map[RequestID]int)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				nextID++
+				id := nextID
+				l.MarkEligible(id, 0)
+				states[id] = 0
+				mu.Unlock()
+				now := time.Duration(0)
+				for pb.Next() {
+					now += time.Microsecond
+					mu.Lock()
+					l.Credit(id, 16384, now)
+					st := states[id]
+					mu.Unlock()
+					if st != 0 {
+						b.Error("settled")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBidTableWinner measures the auction scan against a
+// populated table, with and without dirty shards.
+func BenchmarkBidTableWinner(b *testing.B) {
+	for _, contenders := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("contenders=%d", contenders), func(b *testing.B) {
+			bt := NewBidTable(0)
+			for i := 1; i <= contenders; i++ {
+				bt.Credit(RequestID(i), int64(i), 0)
+				bt.MarkEligible(RequestID(i), 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Credit to dirty one shard, then scan.
+				bt.Credit(RequestID(i%contenders+1), 1, 0)
+				if _, _, ok := bt.Winner(); !ok {
+					b.Fatal("no winner")
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 )
 
@@ -24,6 +25,11 @@ type Config struct {
 	InactivityTimeout time.Duration
 	// SweepInterval is how often timeouts are checked. Default 1s.
 	SweepInterval time.Duration
+	// Shards sets the bid table's shard count (rounded up to a power
+	// of two); 0 selects a GOMAXPROCS-scaled default. Shard count
+	// tunes live-path concurrency only — auction outcomes, and hence
+	// the deterministic simulation, are identical for any setting.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -52,12 +58,16 @@ type Stats struct {
 // Thinner is the virtual-auction front-end of §3.3.
 //
 // Wiring: the application layer calls RequestArrived, PaymentReceived,
-// and ServerDone; the thinner invokes the callbacks to act. All
-// methods must be called from one goroutine (or under one lock).
+// and ServerDone; the thinner invokes the callbacks to act. Control
+// methods (RequestArrived, ServerDone, Stop, and the sweep timer) must
+// be called from one goroutine (or under one lock); PaymentReceived —
+// and crediting directly through the bid table's channels — is safe
+// from any goroutine, which is what lets the live front sink payment
+// bytes on every core while the auction stays single-threaded.
 type Thinner struct {
 	clock     Clock
 	cfg       Config
-	ledger    *Ledger
+	table     *BidTable
 	busy      bool
 	stats     Stats
 	goingRate int64 // winning bid of the most recent auction
@@ -79,14 +89,15 @@ type Thinner struct {
 // NewThinner creates a virtual-auction thinner and starts its timeout
 // sweeper on the given clock.
 func NewThinner(clock Clock, cfg Config) *Thinner {
-	t := &Thinner{clock: clock, cfg: cfg.withDefaults(), ledger: NewLedger()}
+	cfg = cfg.withDefaults()
+	t := &Thinner{clock: clock, cfg: cfg, table: NewBidTable(cfg.Shards)}
 	t.scheduleSweep()
 	return t
 }
 
-// Ledger exposes the payment ledger (read-mostly; used by tests and
-// the live-status endpoints).
-func (t *Thinner) Ledger() *Ledger { return t.ledger }
+// Table exposes the concurrent bid table (read-mostly; used by tests,
+// the live-status endpoints, and the live front's payment hot path).
+func (t *Thinner) Table() *BidTable { return t.table }
 
 // Stats returns a copy of the activity counters.
 func (t *Thinner) Stats() Stats { return t.stats }
@@ -113,7 +124,8 @@ func (t *Thinner) Stop() {
 func (t *Thinner) RequestArrived(id RequestID) {
 	if !t.busy {
 		t.busy = true
-		paid := t.ledger.Remove(id) // any pre-paid bytes count as its price
+		// Any pre-paid bytes count as its price.
+		paid := t.table.Remove(id, ChanAdmitted)
 		t.stats.Admitted++
 		t.stats.AdmittedDirect++
 		t.stats.PaidBytes += paid
@@ -122,7 +134,7 @@ func (t *Thinner) RequestArrived(id RequestID) {
 		}
 		return
 	}
-	t.ledger.MarkEligible(id, t.clock.Now())
+	t.table.MarkEligible(id, t.clock.Now())
 	if t.Encourage != nil {
 		t.Encourage(id)
 	}
@@ -132,7 +144,7 @@ func (t *Thinner) RequestArrived(id RequestID) {
 // request message; such entries are orphans until the request shows up
 // and are evicted after OrphanTimeout.
 func (t *Thinner) PaymentReceived(id RequestID, bytes int64) {
-	t.ledger.Credit(id, bytes, t.clock.Now())
+	t.table.Credit(id, bytes, t.clock.Now())
 }
 
 // ServerDone signals that the server finished a request. The thinner
@@ -140,12 +152,15 @@ func (t *Thinner) PaymentReceived(id RequestID, bytes int64) {
 // admitted and its payment channel terminated.
 func (t *Thinner) ServerDone() {
 	t.busy = false
-	id, paid, ok := t.ledger.Winner()
+	id, _, ok := t.table.Winner()
 	if !ok {
 		return // no contenders; server idles until the next request
 	}
 	t.stats.Auctions++
-	t.ledger.Remove(id)
+	// Remove's balance is the authoritative price: in live mode,
+	// payment chunks may land between the scan and the settle. (In the
+	// single-threaded simulator the two are always equal.)
+	paid := t.table.Remove(id, ChanAdmitted)
 	t.busy = true
 	t.goingRate = paid
 	t.stats.Admitted++
@@ -165,14 +180,20 @@ func (t *Thinner) scheduleSweep() {
 	})
 }
 
-// sweep evicts orphaned payment channels and inactive contenders.
+// sweep evicts orphaned payment channels and inactive contenders. The
+// table scans shard maps, so each class is sorted by id to keep
+// eviction order — and everything the Evict callbacks schedule —
+// deterministic across runs.
 func (t *Thinner) sweep() {
 	now := t.clock.Now()
 	var ids []RequestID
-	ids = t.ledger.Orphans(ids, now-t.cfg.OrphanTimeout)
-	ids = t.ledger.Inactive(ids, now-t.cfg.InactivityTimeout)
+	ids = t.table.Orphans(ids, now-t.cfg.OrphanTimeout)
+	n := len(ids)
+	slices.Sort(ids[:n])
+	ids = t.table.Inactive(ids, now-t.cfg.InactivityTimeout)
+	slices.Sort(ids[n:])
 	for _, id := range ids {
-		paid := t.ledger.Remove(id)
+		paid := t.table.Remove(id, ChanEvicted)
 		t.stats.Evicted++
 		t.stats.WastedBytes += paid
 		if t.Evict != nil {

@@ -60,7 +60,7 @@ func TestThinnerBusyServerEncourages(t *testing.T) {
 	if len(h.encourage) != 1 || h.encourage[0] != 2 {
 		t.Fatalf("encourage = %v, want [2]", h.encourage)
 	}
-	if h.th.Ledger().Eligible() != 1 {
+	if h.th.Table().Eligible() != 1 {
 		t.Fatal("request 2 must be an eligible contender")
 	}
 }
@@ -83,7 +83,7 @@ func TestThinnerAuctionPicksTopPayer(t *testing.T) {
 		t.Fatalf("going rate = %d", h.th.GoingRate())
 	}
 	// 2 remains contending with its balance intact.
-	if h.th.Ledger().Balance(2) != 1000 {
+	if h.th.Table().Balance(2) != 1000 {
 		t.Fatal("loser's balance must persist")
 	}
 }
@@ -136,7 +136,7 @@ func TestThinnerOrphanEviction(t *testing.T) {
 	}
 	// A late-arriving request for the evicted id starts from scratch.
 	h.th.RequestArrived(42)
-	if h.th.Ledger().Balance(42) != 0 {
+	if h.th.Table().Balance(42) != 0 {
 		t.Fatal("evicted balance must not survive")
 	}
 }
@@ -151,7 +151,7 @@ func TestThinnerOrphanSurvivesIfRequestArrives(t *testing.T) {
 	if len(h.evicted) != 0 {
 		t.Fatalf("eligible entry evicted: %v", h.evicted)
 	}
-	if h.th.Ledger().Balance(2) != 100 {
+	if h.th.Table().Balance(2) != 100 {
 		t.Fatal("balance lost")
 	}
 }

@@ -59,6 +59,8 @@ type Stats struct {
 	Served    atomic.Uint64
 	Failed    atomic.Uint64
 	PaidBytes atomic.Int64
+	// Latency records issue-to-response time of served requests.
+	Latency Histogram
 }
 
 // Offered returns the demand the client presented: issued plus
@@ -134,8 +136,10 @@ func (c *Client) arrivals() {
 			go func() {
 				defer c.wg.Done()
 				defer func() { <-sem }()
+				start := time.Now()
 				if c.doRequest(id) {
 					c.Stats.Served.Add(1)
+					c.Stats.Latency.Observe(time.Since(start))
 				} else {
 					c.Stats.Failed.Add(1)
 				}
@@ -195,7 +199,7 @@ func (c *Client) payAndWait(id core.RequestID) bool {
 		for !stopped.Load() {
 			body := &shapedReader{
 				bucket:  c.bucket,
-				left:    c.cfg.PostBytes,
+				total:   c.cfg.PostBytes,
 				chunk:   16 << 10,
 				stopped: stopped.Load,
 			}
@@ -205,7 +209,7 @@ func (c *Client) payAndWait(id core.RequestID) bool {
 			}
 			raw, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
-			c.Stats.PaidBytes.Add(int64(c.cfg.PostBytes - body.left))
+			c.Stats.PaidBytes.Add(body.Sent())
 			if stopped.Load() || !isContinue(raw) {
 				return
 			}

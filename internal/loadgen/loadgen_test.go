@@ -84,7 +84,7 @@ func TestQuickBucketNeverExceedsRate(t *testing.T) {
 
 func TestShapedReaderYieldsExactly(t *testing.T) {
 	b := NewTokenBucket(800e6, 1<<20)
-	r := &shapedReader{bucket: b, left: 100_000, chunk: 16 << 10}
+	r := &shapedReader{bucket: b, total: 100_000, chunk: 16 << 10}
 	n, err := io.Copy(io.Discard, readerOnly{r})
 	if err != nil || n != 100_000 {
 		t.Fatalf("copied %d (%v), want 100000", n, err)
@@ -94,7 +94,7 @@ func TestShapedReaderYieldsExactly(t *testing.T) {
 func TestShapedReaderStops(t *testing.T) {
 	b := NewTokenBucket(800e6, 1<<20)
 	stop := false
-	r := &shapedReader{bucket: b, left: 1 << 20, chunk: 4096, stopped: func() bool { return stop }}
+	r := &shapedReader{bucket: b, total: 1 << 20, chunk: 4096, stopped: func() bool { return stop }}
 	buf := make([]byte, 4096)
 	r.Read(buf)
 	stop = true

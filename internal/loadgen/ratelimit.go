@@ -3,6 +3,7 @@ package loadgen
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,28 +77,37 @@ func (b *TokenBucket) Take(n int) {
 
 // shapedReader yields up to total bytes of dummy payload, pacing each
 // chunk through the bucket. It implements io.Reader for POST bodies.
+// Sent is safe to call while the transport is still draining the body
+// — the thinner may answer a /pay before its body finishes (admission
+// and eviction interrupt the stream), leaving the writeLoop running
+// when the response arrives.
 type shapedReader struct {
 	bucket  *TokenBucket
-	left    int
+	total   int
+	sent    atomic.Int64
 	chunk   int
 	stopped func() bool // polled between chunks; true aborts the body
 }
 
+// Sent returns the payload bytes yielded so far.
+func (r *shapedReader) Sent() int64 { return r.sent.Load() }
+
 func (r *shapedReader) Read(p []byte) (int, error) {
-	if r.left <= 0 || (r.stopped != nil && r.stopped()) {
+	left := r.total - int(r.sent.Load())
+	if left <= 0 || (r.stopped != nil && r.stopped()) {
 		return 0, io.EOF
 	}
 	n := len(p)
 	if n > r.chunk {
 		n = r.chunk
 	}
-	if n > r.left {
-		n = r.left
+	if n > left {
+		n = left
 	}
 	r.bucket.Take(n)
 	for i := 0; i < n; i++ {
 		p[i] = 'x'
 	}
-	r.left -= n
+	r.sent.Add(int64(n))
 	return n, nil
 }

@@ -1,0 +1,243 @@
+package web
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speakup/internal/core"
+)
+
+// TestDuplicateRequestConflict is the regression test for the
+// duplicate-waiter bug: a second /request with an id already held must
+// be rejected with 409 instead of silently overwriting (and stranding)
+// the first waiter.
+func TestDuplicateRequestConflict(t *testing.T) {
+	_, srv, _ := newTestFront(t, 250*time.Millisecond)
+	go http.Get(srv.URL + "/request?id=1") // occupies the origin
+	time.Sleep(30 * time.Millisecond)
+
+	first := make(chan int, 1)
+	go func() {
+		code, _, _ := tryGet(srv.URL + "/request?id=2&wait=1")
+		first <- code
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	// The duplicate must bounce immediately.
+	code, body := get(t, srv.URL+"/request?id=2&wait=1")
+	if code != http.StatusConflict {
+		t.Fatalf("duplicate request: got %d %q, want 409", code, body)
+	}
+	// The original waiter is untouched: id 2 is the only contender, so
+	// it wins the auction when the origin frees up and gets served.
+	select {
+	case code := <-first:
+		if code != http.StatusOK {
+			t.Fatalf("original waiter got %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("original waiter stranded after duplicate was rejected")
+	}
+}
+
+// TestFrontPayCreditAllocs anchors the zero-alloc invariant at the web
+// layer: the work the front adds per payment chunk (credit + state
+// poll on the request's cached channel) must not allocate.
+func TestFrontPayCreditAllocs(t *testing.T) {
+	front := NewFront(OriginFunc(func(core.RequestID) ([]byte, error) { return nil, nil }),
+		Config{Thinner: core.Config{SweepInterval: time.Hour}})
+	defer front.Close()
+	pc := front.Table().Channel(99, 0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		pc.Credit(16384, time.Millisecond)
+		if pc.State() != core.ChanActive {
+			t.Fatal("channel settled")
+		}
+	}); avg != 0 {
+		t.Fatalf("per-chunk credit path allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestFrontStress drives the full protocol with hundreds of concurrent
+// actors against an in-process Front: paying waiters racing auctions,
+// orphan payment channels being evicted, and clients disconnecting
+// mid-POST. Run under -race in CI's live-race job. It asserts
+// liveness (everything terminates), conservation of the headline
+// counters, and that the table drains.
+func TestFrontStress(t *testing.T) {
+	payers, orphans, aborters := 60, 25, 25
+	if testing.Short() {
+		payers, orphans, aborters = 20, 8, 8
+	}
+
+	origin := OriginFunc(func(id core.RequestID) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		return []byte("ok"), nil
+	})
+	front := NewFront(origin, Config{
+		PayPollInterval: 5 * time.Millisecond,
+		RequestTimeout:  10 * time.Second,
+		Thinner: core.Config{
+			OrphanTimeout:     200 * time.Millisecond,
+			InactivityTimeout: 2 * time.Second,
+			SweepInterval:     25 * time.Millisecond,
+			Shards:            8,
+		},
+	})
+	srv := httptest.NewServer(front)
+	defer front.Close()
+	defer srv.Close()
+	client := srv.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	var served, evicted, conflicts atomic.Int64
+	var wg sync.WaitGroup
+
+	// Protocol-following clients: request, then pay-and-wait if busy.
+	for i := 0; i < payers; i++ {
+		id := 1000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(fmt.Sprintf("%s/request?id=%d", srv.URL, id))
+			if err != nil {
+				return
+			}
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code == http.StatusOK {
+				served.Add(1)
+				return
+			}
+			if code != http.StatusPaymentRequired {
+				t.Errorf("id %d: unexpected /request status %d", id, code)
+				return
+			}
+			// Re-issue and hold; stream payment until settled.
+			done := make(chan int, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				code, _, err := tryGet(fmt.Sprintf("%s/request?id=%d&wait=1", srv.URL, id))
+				if err != nil {
+					code = 0
+				}
+				done <- code
+			}()
+			for paying := true; paying; {
+				body := strings.NewReader(strings.Repeat("x", 32<<10))
+				resp, err := client.Post(fmt.Sprintf("%s/pay?id=%d", srv.URL, id),
+					"application/octet-stream", body)
+				if err != nil {
+					break
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				paying = strings.Contains(string(raw), "continue")
+			}
+			switch code := <-done; code {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusServiceUnavailable:
+				evicted.Add(1)
+			case http.StatusConflict:
+				conflicts.Add(1)
+			}
+		}()
+	}
+
+	// Orphan payers: payment with no request message; must be evicted.
+	for i := 0; i < orphans; i++ {
+		id := 5000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr, pw := io.Pipe()
+			go func() {
+				pw.Write(make([]byte, 48<<10))
+				// Keep the stream open: eviction must cut it short.
+				time.Sleep(5 * time.Second)
+				pw.Close()
+			}()
+			resp, err := client.Post(fmt.Sprintf("%s/pay?id=%d", srv.URL, id),
+				"application/octet-stream", pr)
+			if err != nil {
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(raw), "evicted") {
+				evicted.Add(1)
+			}
+		}()
+	}
+
+	// Aborters: disconnect mid-POST; the sink must unwind cleanly.
+	for i := 0; i < aborters; i++ {
+		id := 9000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			pr, pw := io.Pipe()
+			go func() {
+				for {
+					if _, err := pw.Write(make([]byte, 16<<10)); err != nil {
+						return
+					}
+				}
+			}()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+				fmt.Sprintf("%s/pay?id=%d", srv.URL, id), pr)
+			resp, err := client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			pw.CloseWithError(context.Canceled)
+		}()
+	}
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run wedged: actors did not terminate")
+	}
+
+	st := front.Snapshot()
+	t.Logf("served=%d evicted=%d conflicts=%d snapshot=%+v",
+		served.Load(), evicted.Load(), conflicts.Load(), st)
+	if served.Load() == 0 {
+		t.Fatal("no client was ever served")
+	}
+	if st.ThinnerTotals.Evicted == 0 {
+		t.Fatal("orphan channels were never evicted")
+	}
+	if got := front.Table().TotalCredited(); got < st.ThinnerTotals.PaidBytes {
+		t.Fatalf("credited %d < admitted prices %d", got, st.ThinnerTotals.PaidBytes)
+	}
+	// The table must drain: give the sweeper a few rounds to clear
+	// leftover orphans from aborted streams, then check emptiness.
+	deadline := time.Now().Add(5 * time.Second)
+	for front.Table().Size() > 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := front.Table().Size(); n > 0 {
+		t.Fatalf("%d channels leaked past all timeouts", n)
+	}
+	if n := front.Table().Waiters(); n > 0 {
+		t.Fatalf("%d waiters leaked", n)
+	}
+}

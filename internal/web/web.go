@@ -18,9 +18,17 @@
 //	                              admitted, or that it was evicted.
 //	GET  /stats                   JSON counters.
 //
-// The thinner core (internal/core) is single-threaded by design; Front
-// serializes all core access behind one mutex, and the core's timers
-// run through a clock adapter that takes the same mutex.
+// Ingest architecture: the whole point of speak-up is that the thinner
+// absorbs far more traffic than the origin serves, so the payment path
+// must scale with cores. Each /pay stream resolves its request's
+// payment channel once in the sharded core.BidTable and then credits
+// every chunk through that channel's atomics — no locks, no
+// allocation, no sharing beyond its shard. Admission and eviction are
+// published by compare-and-swapping the channel's state word, which
+// in-flight POSTs observe between chunks. Only the rare control events
+// — request arrival, the auction when the origin frees up, the timeout
+// sweep — serialize on a small mutex, preserving the thinner core's
+// single-threaded auction semantics.
 package web
 
 import (
@@ -30,6 +38,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speakup/internal/core"
@@ -83,7 +92,8 @@ func (o *EmulatedOrigin) Serve(id core.RequestID) ([]byte, error) {
 
 // Config tunes a Front.
 type Config struct {
-	// Thinner configures the auction core (timeouts).
+	// Thinner configures the auction core (timeouts, bid-table shard
+	// count — Shards defaults to GOMAXPROCS-scaled).
 	Thinner core.Config
 	// PayChunk is the read-buffer size for payment bodies. Default 16 KB.
 	PayChunk int
@@ -108,30 +118,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// payState tracks one payment channel's fate.
-type payState int
-
-const (
-	payActive payState = iota
-	payAdmitted
-	payEvicted
-)
-
 // Front is the speak-up HTTP front-end. Create with NewFront; it
 // implements http.Handler.
 type Front struct {
-	cfg    Config
-	origin Origin
-
-	mu      sync.Mutex
-	th      *core.Thinner
+	cfg     Config
+	origin  Origin
 	started time.Time
-	waiters map[core.RequestID]chan []byte // held /request responses
-	pays    map[core.RequestID]payState
 
-	// Counters (also under mu).
-	paymentBytes int64
-	served       uint64
+	// ctl serializes the thinner's control path: request arrival, the
+	// auction on server-free, and the timeout sweep. These are rare
+	// (at most a few per served request). Payment crediting — the hot
+	// path — never takes it.
+	ctl   sync.Mutex
+	th    *core.Thinner
+	table *core.BidTable
+
+	served atomic.Uint64
+	bufs   sync.Pool // *[]byte of cfg.PayChunk, for /pay read loops
 }
 
 // NewFront builds the front-end for an origin.
@@ -140,36 +143,36 @@ func NewFront(origin Origin, cfg Config) *Front {
 		cfg:     cfg.withDefaults(),
 		origin:  origin,
 		started: time.Now(),
-		waiters: make(map[core.RequestID]chan []byte),
-		pays:    make(map[core.RequestID]payState),
 	}
-	// The clock's mutex must be wired before NewThinner schedules its
-	// first sweep timer on it.
-	clock := &lockedClock{epoch: f.started, mu: &f.mu}
+	f.bufs.New = func() any {
+		b := make([]byte, f.cfg.PayChunk)
+		return &b
+	}
+	// Construct and wire the thinner under ctl: its sweep timer runs
+	// callbacks under the same mutex, so holding it here makes the
+	// constructor's writes (timer handle, callbacks) visible to the
+	// first sweep no matter how soon it fires.
+	clock := &ctlClock{epoch: f.started, mu: &f.ctl}
+	f.ctl.Lock()
 	f.th = core.NewThinner(clock, f.cfg.Thinner)
-	f.th.Admit = f.admitLocked
-	f.th.Evict = func(id core.RequestID, paid int64, wasted bool) {
-		if st, ok := f.pays[id]; ok && st == payActive {
-			if wasted {
-				f.pays[id] = payEvicted
-			} else {
-				f.pays[id] = payAdmitted
-			}
-		}
-	}
+	f.table = f.th.Table()
+	f.th.Admit = f.admit
+	f.th.Evict = f.evict
+	f.ctl.Unlock()
 	return f
 }
 
-// lockedClock adapts wall-clock time to core.Clock, running callbacks
-// under the Front's mutex.
-type lockedClock struct {
+// ctlClock adapts wall-clock time to core.Clock, running timer
+// callbacks (the timeout sweep) under the Front's control mutex so
+// they serialize with arrivals and auctions.
+type ctlClock struct {
 	mu    *sync.Mutex
 	epoch time.Time
 }
 
-func (c *lockedClock) Now() time.Duration { return time.Since(c.epoch) }
+func (c *ctlClock) Now() time.Duration { return time.Since(c.epoch) }
 
-func (c *lockedClock) After(d time.Duration, fn func()) func() {
+func (c *ctlClock) After(d time.Duration, fn func()) func() {
 	t := time.AfterFunc(d, func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -178,35 +181,43 @@ func (c *lockedClock) After(d time.Duration, fn func()) func() {
 	return func() { t.Stop() }
 }
 
-// admitLocked (called with mu held, from the thinner core) dispatches
-// the request to the origin on its own goroutine.
-func (f *Front) admitLocked(id core.RequestID, paid int64) {
-	if st, ok := f.pays[id]; ok && st == payActive {
-		f.pays[id] = payAdmitted
-		// Janitor: if the client never comes back to collect the
-		// admitted/evicted verdict, drop the entry.
-		time.AfterFunc(30*time.Second, func() {
-			f.mu.Lock()
-			if st, ok := f.pays[id]; ok && st != payActive {
-				delete(f.pays, id)
-			}
-			f.mu.Unlock()
-		})
-	}
+// now is the Front's clock reading (same epoch the thinner sees).
+func (f *Front) now() time.Duration { return time.Since(f.started) }
+
+// admit (called with ctl held, from the thinner core) collects the
+// held request's waiter and dispatches the request to the origin on
+// its own goroutine. The winner's payment POST learns of the admission
+// from its channel's state word, which the core flipped on settle.
+func (f *Front) admit(id core.RequestID, paid int64) {
+	w, _ := f.table.TakeWaiter(id).(chan []byte)
 	go func() {
 		body, err := f.origin.Serve(id)
 		if err != nil {
 			body = []byte("origin error: " + err.Error())
 		}
-		f.mu.Lock()
-		f.served++
-		if ch, ok := f.waiters[id]; ok {
-			delete(f.waiters, id)
-			ch <- body
+		if body == nil {
+			body = []byte{}
 		}
+		f.served.Add(1)
+		if w != nil {
+			w <- body // buffered; the waiter may also have given up
+		}
+		f.ctl.Lock()
 		f.th.ServerDone()
-		f.mu.Unlock()
+		f.ctl.Unlock()
 	}()
+}
+
+// evict (called with ctl held, from the sweep) releases a timed-out
+// contender's held request, if any. A nil body tells the waiter it was
+// evicted. The payment POST itself stops via the state word.
+func (f *Front) evict(id core.RequestID, paid int64, wasted bool) {
+	if !wasted {
+		return // auction winner: admit delivers the response
+	}
+	if w, _ := f.table.TakeWaiter(id).(chan []byte); w != nil {
+		w <- nil
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -243,32 +254,39 @@ func (f *Front) handleRequest(w http.ResponseWriter, r *http.Request) {
 	}
 	wait := r.URL.Query().Get("wait") != ""
 
-	f.mu.Lock()
+	ch := make(chan []byte, 1)
+	f.ctl.Lock()
 	if !wait && f.th.Busy() {
-		f.mu.Unlock()
+		f.ctl.Unlock()
 		// The "JavaScript" reply: open a payment channel and re-issue.
 		w.Header().Set("Speakup-Action", "pay")
 		w.WriteHeader(http.StatusPaymentRequired)
 		fmt.Fprintln(w, "server busy: stream dummy bytes to /pay and re-issue with &wait=1")
 		return
 	}
-	ch := make(chan []byte, 1)
-	f.waiters[id] = ch
+	if !f.table.SetWaiter(id, ch) {
+		// A request with this id is already held. Overwriting would
+		// strand the earlier goroutine until RequestTimeout.
+		f.ctl.Unlock()
+		http.Error(w, "duplicate request id: a request with this id is already waiting",
+			http.StatusConflict)
+		return
+	}
 	f.th.RequestArrived(id)
-	f.mu.Unlock()
+	f.ctl.Unlock()
 
 	select {
 	case body := <-ch:
+		if body == nil {
+			http.Error(w, "evicted: payment channel timed out", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(body)
 	case <-r.Context().Done():
-		f.mu.Lock()
-		delete(f.waiters, id)
-		f.mu.Unlock()
+		f.table.DropWaiter(id, ch)
 	case <-time.After(f.cfg.RequestTimeout):
-		f.mu.Lock()
-		delete(f.waiters, id)
-		f.mu.Unlock()
+		f.table.DropWaiter(id, ch)
 		http.Error(w, "timed out waiting for service", http.StatusGatewayTimeout)
 	}
 }
@@ -289,67 +307,68 @@ func (f *Front) handlePay(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	f.mu.Lock()
-	if _, ok := f.pays[id]; !ok {
-		f.pays[id] = payActive
-	}
-	f.mu.Unlock()
+	// Resolve the payment channel once; every chunk below is credited
+	// through its atomics without locks.
+	pc := f.table.Channel(id, f.now())
 
+	// The sink goroutine blocks in Read and credits chunks as they
+	// land — the hot path: one Read, one atomic credit, one state load
+	// per chunk, no locks, no deadlines. (Read deadlines are unusable
+	// here: a deadline expiring mid-chunked-body poisons net/http's
+	// chunked reader permanently, which would stop ingest cold.)
+	var credited atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bufp := f.bufs.Get().(*[]byte)
+		buf := *bufp
+		for {
+			n, err := r.Body.Read(buf)
+			if n > 0 && pc.Credit(int64(n), f.now()) {
+				// Count only accepted bytes so the reply's paid tally
+				// matches the table (a chunk racing the settle is
+				// dropped by Credit).
+				credited.Add(int64(n))
+			}
+			if err != nil || pc.State() != core.ChanActive {
+				break // EOF, client gone, handler returned, or settled
+			}
+		}
+		f.bufs.Put(bufp)
+	}()
+
+	// Wait for the POST to complete, polling the channel's state word
+	// so a settle (auction win or eviction) interrupts the stream. The
+	// sink may be parked inside Read holding net/http's body mutex —
+	// which the response-write path also needs — so to cut a settled
+	// stream short we expire the connection's read deadline, join the
+	// sink, and only then respond. (The connection is not reused after
+	// an aborted body; that's fine, the client was told to stop.)
 	rc := http.NewResponseController(w)
-	canDeadline := rc.SetReadDeadline(time.Now().Add(f.cfg.PayPollInterval)) == nil
-	buf := make([]byte, f.cfg.PayChunk)
-	var credited int64
-	status := "continue"
-	for {
-		// Bound each read so admission/eviction interrupts the POST.
-		if canDeadline {
-			rc.SetReadDeadline(time.Now().Add(f.cfg.PayPollInterval))
-		}
-		n, err := r.Body.Read(buf)
-		if n > 0 {
-			credited += int64(n)
-			f.mu.Lock()
-			f.th.PaymentReceived(id, int64(n))
-			f.paymentBytes += int64(n)
-			st := f.pays[id]
-			f.mu.Unlock()
-			if st != payActive {
-				status = stateString(st)
-				break
+	ticker := time.NewTicker(f.cfg.PayPollInterval)
+	defer ticker.Stop()
+	for waiting := true; waiting; {
+		select {
+		case <-done:
+			waiting = false
+		case <-ticker.C:
+			if pc.State() != core.ChanActive {
+				rc.SetReadDeadline(time.Now())
+				<-done
+				waiting = false
 			}
 		}
-		if err != nil {
-			var ne interface{ Timeout() bool }
-			if errors.As(err, &ne) && ne.Timeout() {
-				f.mu.Lock()
-				st := f.pays[id]
-				f.mu.Unlock()
-				if st != payActive {
-					status = stateString(st)
-					break
-				}
-				continue // just a poll tick; keep reading
-			}
-			break // EOF (POST complete) or client gone
-		}
 	}
-	f.mu.Lock()
-	if st := f.pays[id]; st != payActive {
-		status = stateString(st)
-		delete(f.pays, id)
-	}
-	f.mu.Unlock()
-	// Clear the deadline so the response writes cleanly.
 	rc.SetReadDeadline(time.Time{})
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(payReply{Status: status, Paid: credited})
+	json.NewEncoder(w).Encode(payReply{Status: stateString(pc.State()), Paid: credited.Load()})
 }
 
-func stateString(st payState) string {
+func stateString(st core.ChanState) string {
 	switch st {
-	case payAdmitted:
+	case core.ChanAdmitted:
 		return "admitted"
-	case payEvicted:
+	case core.ChanEvicted:
 		return "evicted"
 	}
 	return "continue"
@@ -363,22 +382,29 @@ type Stats struct {
 	PaymentMbps   float64    `json:"payment_mbps"`
 	GoingRate     int64      `json:"going_rate_bytes"`
 	Contenders    int        `json:"contenders"`
+	Shards        int        `json:"shards"`
 	ThinnerTotals core.Stats `json:"thinner"`
 }
 
-// Snapshot returns current counters.
+// Snapshot returns current counters. Payment totals come from the bid
+// table's shard counters; only the thinner's own tallies are read
+// under the control mutex.
 func (f *Front) Snapshot() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	up := time.Since(f.started)
+	f.ctl.Lock()
+	going := f.th.GoingRate()
+	totals := f.th.Stats()
+	f.ctl.Unlock()
+	pay := f.table.TotalCredited()
 	return Stats{
 		Uptime:        up.Truncate(time.Millisecond).String(),
-		Served:        f.served,
-		PaymentBytes:  f.paymentBytes,
-		PaymentMbps:   float64(f.paymentBytes) * 8 / up.Seconds() / 1e6,
-		GoingRate:     f.th.GoingRate(),
-		Contenders:    f.th.Ledger().Eligible(),
-		ThinnerTotals: f.th.Stats(),
+		Served:        f.served.Load(),
+		PaymentBytes:  pay,
+		PaymentMbps:   float64(pay) * 8 / up.Seconds() / 1e6,
+		GoingRate:     going,
+		Contenders:    f.table.Eligible(),
+		Shards:        f.table.Shards(),
+		ThinnerTotals: totals,
 	}
 }
 
@@ -387,9 +413,12 @@ func (f *Front) handleStats(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(f.Snapshot())
 }
 
+// Table exposes the front's bid table (tests, stats integrations).
+func (f *Front) Table() *core.BidTable { return f.table }
+
 // Close stops the thinner's background timers.
 func (f *Front) Close() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.ctl.Lock()
+	defer f.ctl.Unlock()
 	f.th.Stop()
 }

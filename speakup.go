@@ -124,8 +124,28 @@ type (
 	ProfilerConfig = core.ProfilerConfig
 	// Address identifies a client for detect-and-block purposes.
 	Address = core.Address
-	// Ledger tracks contending requests' payment balances.
+	// Ledger tracks contending requests' payment balances
+	// (single-threaded; the §5 quantum scheduler uses it).
 	Ledger = core.Ledger
+	// BidTable is the concurrent sharded payment table behind the
+	// auction thinner: lock-free per-chunk crediting, per-shard maxima
+	// for the auction scan.
+	BidTable = core.BidTable
+	// PayChan is one request's payment channel in a BidTable; credit
+	// chunks through it with no locks.
+	PayChan = core.PayChan
+	// ChanState is a payment channel's lifecycle word.
+	ChanState = core.ChanState
+)
+
+// Payment-channel lifecycle states.
+const (
+	// ChanActive: open and accepting payment.
+	ChanActive = core.ChanActive
+	// ChanAdmitted: won an auction; stop paying and await service.
+	ChanAdmitted = core.ChanAdmitted
+	// ChanEvicted: timed out; payment wasted, stop sending.
+	ChanEvicted = core.ChanEvicted
 )
 
 // NewThinner creates the §3.3 virtual-auction thinner on a clock.
@@ -149,6 +169,11 @@ func NewProfiler(clock Clock, cfg ProfilerConfig) *Profiler { return core.NewPro
 
 // NewLedger creates an empty payment ledger.
 func NewLedger() *Ledger { return core.NewLedger() }
+
+// NewBidTable creates a concurrent payment table with the given shard
+// count (rounded up to a power of two; <= 0 selects a GOMAXPROCS-
+// scaled default).
+func NewBidTable(shards int) *BidTable { return core.NewBidTable(shards) }
 
 // Live (real-socket) front-end.
 type (
