@@ -17,6 +17,12 @@
 //     one global mutex around the heap-backed ledger — measured live
 //     (the Ledger still serves the §5 quantum scheduler).
 //
+// PR 4 benchmarks the adversary subsystem: the robustness-frontier
+// sweep (internal/exp.Adversary — every attacker strategy x
+// aggressiveness x bandwidth ratio through the full simulator) run
+// serially and across a worker pool, reported as events/sec against
+// the PR 2 sweep_serial baseline for trajectory continuity.
+//
 // -pr 2 re-emits the PR 2 simulator measurements (sweep_serial,
 // event_loop) for trajectory continuity.
 //
@@ -25,6 +31,7 @@
 //	go run ./cmd/benchjson                  # writes BENCH_PR3.json
 //	go run ./cmd/benchjson -streams 64 -window 10s
 //	go run ./cmd/benchjson -pr 2 -out BENCH_PR2.json
+//	go run ./cmd/benchjson -pr 4 -dur 10s   # adversary sweep events/sec
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 
 	"speakup/internal/appsim"
 	"speakup/internal/core"
+	"speakup/internal/exp"
 	"speakup/internal/scenario"
 	"speakup/internal/sim"
 	"speakup/internal/sweep"
@@ -287,6 +295,42 @@ func measureCreditPaths(procs int) (bidtable, locked metricsJSON) {
 	return bidtable, locked
 }
 
+// ---- PR 4: adversary robustness-frontier sweep ----
+
+// measureAdversarySweep runs the full strategy x aggressiveness x
+// bandwidth-ratio grid (internal/exp.Adversary) at the given virtual
+// duration per cell and reports simulator events/sec. workers <= 1 is
+// the serial number comparable to the PR 2 sweep_serial trajectory;
+// workers = GOMAXPROCS shows the worker-pool scaling on the same
+// grid. Results are asserted bit-identical across worker counts by
+// the determinism tests, so both rows measure the same computation.
+func measureAdversarySweep(dur time.Duration, workers int) metricsJSON {
+	var events uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := exp.Adversary(exp.Opts{Duration: dur, Seed: 1, Workers: workers})
+			events = res.Events
+		}
+	})
+	name := "adversary_sweep_serial"
+	note := fmt.Sprintf("24-cell robustness frontier (6 strategies x 2 aggro x 2 bw), %s virtual/cell, 1 worker", dur)
+	if workers != 1 {
+		name = "adversary_sweep_parallel"
+		note = fmt.Sprintf("same grid across %d workers (GOMAXPROCS)", runtime.GOMAXPROCS(0))
+	}
+	m := metricsJSON{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		EventsPerOp: float64(events),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Note:        note,
+	}
+	m.EventsPerSec = float64(events) / (float64(r.NsPerOp()) * 1e-9)
+	return m
+}
+
 // ---- PR 2: simulator measurements (kept for trajectory re-runs) ----
 
 // sweepGrid mirrors sweepBenchGrid in bench_test.go: the §7.4 capacity
@@ -369,10 +413,11 @@ func measureEventLoop() metricsJSON {
 }
 
 func main() {
-	pr := flag.Int("pr", 3, "which PR's benchmark set to run (2 or 3)")
+	pr := flag.Int("pr", 3, "which PR's benchmark set to run (2, 3, or 4)")
 	out := flag.String("out", "", "output file (default BENCH_PR<n>.json)")
 	streams := flag.Int("streams", 32, "concurrent payment streams for the ingest window")
 	window := flag.Duration("window", 8*time.Second, "ingest measurement window")
+	dur := flag.Duration("dur", 10*time.Second, "virtual duration per adversary-sweep cell (-pr 4)")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_PR%d.json", *pr)
@@ -412,6 +457,20 @@ func main() {
 		}
 		f.Baseline = pr3Baseline
 		f.Speedup = ingest.BytesPerSec / pr3Baseline.BytesPerSec
+	case 4:
+		fmt.Fprintf(os.Stderr, "benchjson: measuring adversary_sweep_serial (%s/cell) ...\n", *dur)
+		serial := measureAdversarySweep(*dur, 1)
+		fmt.Fprintf(os.Stderr, "  %.0f events/sec serial\n", serial.EventsPerSec)
+		fmt.Fprintf(os.Stderr, "benchjson: measuring adversary_sweep_parallel ...\n")
+		par := measureAdversarySweep(*dur, 0)
+		fmt.Fprintf(os.Stderr, "  %.0f events/sec across %d workers\n", par.EventsPerSec, runtime.GOMAXPROCS(0))
+		f.Current = []metricsJSON{serial, par}
+		// The trajectory baseline: the PR 2 engine's serial events/sec
+		// on its figure sweep. The adversary grid is a different (new)
+		// workload, so the ratio tracks engine throughput continuity,
+		// not a like-for-like speedup.
+		f.Baseline = pr2Baseline
+		f.Speedup = serial.EventsPerSec / pr2Baseline.EventsPerSec
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -pr %d\n", *pr)
 		os.Exit(2)

@@ -7,11 +7,21 @@
 //
 //	loadgen [-url http://localhost:8080] [-good 3] [-bad 3]
 //	        [-bw 2e6] [-post 1048576] [-duration 30s] [-json]
+//	        [-attack <profile>] [-aggro 1.5]
+//
+// With -attack, the bad clients run the named adversary strategy
+// (onoff, mimic, defector, flood, adaptive, poisson — the same
+// implementations that drive the simulator; see internal/adversary)
+// instead of the default fixed Poisson flood, sharing one cohort so
+// coordinated strategies coordinate for real. -attack list prints the
+// registry and exits.
 //
 // Per-second progress goes to stderr. The final summary — per-class
 // service rates, admissions/sec, payment-ingest bits/sec, and latency
 // percentiles — prints human-readable to stdout, or as one JSON
-// object with -json (the shape cmd/benchjson and dashboards consume).
+// object with -json (the shape cmd/benchjson and dashboards consume);
+// with -attack the summary carries the profile name and the bad class
+// reports that strategy's admission and ingest rates.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speakup/internal/adversary"
 	"speakup/internal/loadgen"
 )
 
@@ -39,11 +50,19 @@ type classJSON struct {
 	LatencyP90Ms  float64 `json:"latency_p90_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	// Per-class rates so one attack profile's admission/ingest numbers
+	// can be compared across runs without re-deriving them.
+	AdmissionsPerSec  float64 `json:"admissions_per_sec"`
+	PaymentBitsPerSec float64 `json:"payment_ingest_bits_per_sec"`
 }
 
 // summaryJSON is the -json output shape.
 type summaryJSON struct {
-	URL               string    `json:"url"`
+	URL string `json:"url"`
+	// Attack names the adversary profile the bad clients ran ("" =
+	// the default fixed Poisson flood); Aggressiveness is its scale.
+	Attack            string    `json:"attack,omitempty"`
+	Aggressiveness    float64   `json:"aggressiveness,omitempty"`
 	DurationSec       float64   `json:"duration_sec"`
 	Good              classJSON `json:"good"`
 	Bad               classJSON `json:"bad"`
@@ -60,7 +79,7 @@ func tally(cs []*loadgen.Client) (issued, served uint64, paid int64) {
 	return
 }
 
-func classSummary(cs []*loadgen.Client) classJSON {
+func classSummary(cs []*loadgen.Client, elapsed time.Duration) classJSON {
 	var out classJSON
 	out.Clients = len(cs)
 	// Percentiles are per-client histograms merged by worst-case: with
@@ -80,6 +99,10 @@ func classSummary(cs []*loadgen.Client) classJSON {
 	if out.Issued > 0 {
 		out.SuccessRate = float64(out.Served) / float64(out.Issued)
 	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		out.AdmissionsPerSec = float64(out.Served) / sec
+		out.PaymentBitsPerSec = float64(out.PaidBytes) * 8 / sec
+	}
 	return out
 }
 
@@ -93,7 +116,28 @@ func main() {
 	post := flag.Int("post", 1<<20, "payment POST size (bytes)")
 	duration := flag.Duration("duration", 30*time.Second, "run length")
 	jsonOut := flag.Bool("json", false, "emit the final summary as JSON on stdout")
+	attack := flag.String("attack", "", "adversary profile for the bad clients (see -attack list)")
+	aggro := flag.Float64("aggro", 1, "attack aggressiveness scale (with -attack)")
 	flag.Parse()
+
+	if *attack == "list" {
+		for _, name := range adversary.Names() {
+			fmt.Printf("%-10s %s\n", name, adversary.Doc(name))
+		}
+		return
+	}
+	if *attack == "" && *aggro != 1 {
+		log.Fatalf("-aggro %g has no effect without -attack (the default bad clients are fixed Poisson λ=40, w=20)", *aggro)
+	}
+	var spec adversary.Spec
+	var cohort *adversary.Cohort
+	if *attack != "" {
+		spec = adversary.Spec{Name: *attack, Aggressiveness: *aggro}
+		if err := spec.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		cohort = adversary.NewCohort(spec, *nBad)
+	}
 
 	var ids atomic.Uint64
 	var good, bad []*loadgen.Client
@@ -106,15 +150,23 @@ func main() {
 		c.Run()
 	}
 	for i := 0; i < *nBad; i++ {
-		c := loadgen.NewClient(loadgen.Config{
+		cfg := loadgen.Config{
 			BaseURL: *url, Lambda: 40, Window: 20, Good: false,
 			UploadBits: *bw, PostBytes: *post, Seed: int64(1000 + i),
-		}, &ids)
+		}
+		if *attack != "" {
+			cfg.Strategy = spec.New(cohort)
+		}
+		c := loadgen.NewClient(cfg, &ids)
 		bad = append(bad, c)
 		c.Run()
 	}
-	log.Printf("load: %d good + %d bad clients at %.1f Mbit/s each against %s",
-		*nGood, *nBad, *bw/1e6, *url)
+	profile := "poisson flood (default)"
+	if *attack != "" {
+		profile = fmt.Sprintf("%s x%.2g", *attack, *aggro)
+	}
+	log.Printf("load: %d good + %d bad clients [%s] at %.1f Mbit/s each against %s",
+		*nGood, *nBad, profile, *bw/1e6, *url)
 
 	start := time.Now()
 	for time.Since(start) < *duration {
@@ -131,9 +183,13 @@ func main() {
 
 	sum := summaryJSON{
 		URL:         *url,
+		Attack:      *attack,
 		DurationSec: elapsed.Seconds(),
-		Good:        classSummary(good),
-		Bad:         classSummary(bad),
+		Good:        classSummary(good, elapsed),
+		Bad:         classSummary(bad, elapsed),
+	}
+	if *attack != "" {
+		sum.Aggressiveness = *aggro
 	}
 	served := sum.Good.Served + sum.Bad.Served
 	paid := sum.Good.PaidBytes + sum.Bad.PaidBytes

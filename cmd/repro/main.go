@@ -17,9 +17,8 @@
 // it with -progress=false.
 //
 // Experiments: fig2 fig3 fig4 fig5 sec74 window fig6 fig7 fig8 fig9
-// variants theorem hetero postsize parconns sec81 flashcrowd. See
-// EXPERIMENTS.md for
-// the paper-vs-measured record.
+// variants theorem hetero postsize parconns sec81 flashcrowd
+// adversary. See EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -118,6 +117,11 @@ func run() int {
 		{"parconns", func() { fmt.Println(exp.ParallelConns(o).Table()) }},
 		{"sec81", func() { fmt.Println(exp.Sec81SmartBots(o).Table()) }},
 		{"flashcrowd", func() { fmt.Println(exp.FlashCrowd(o).Table()) }},
+		{"adversary", func() {
+			r := exp.Adversary(o)
+			fmt.Println(r.Table())
+			fmt.Println(r.FrontierTable())
+		}},
 	}
 	ran := 0
 	for _, j := range jobs {

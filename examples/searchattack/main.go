@@ -1,18 +1,23 @@
-// Search-engine attack: heterogeneous request difficulty (paper §5).
+// Search-engine attack: heterogeneous request difficulty (paper §5),
+// with the attackers declared through the adversary suite.
 //
 // The paper's intro motivates speak-up with attacks that issue
 // computationally expensive requests — e.g. bots sending search
 // queries that hammer the back-end. Here good clients send cheap
-// queries (50 ms of server time) while attackers intentionally send
-// 10x-hard ones (500 ms). A thinner that charges per *request* still
-// loses most of the server's time to attackers; the §5 quantum
-// scheduler charges per 50 ms *quantum* of service — suspending the
-// active request whenever a contender outbids it — so hard requests
-// cost ten times as much and the attackers' time share collapses to
-// (at most) their bandwidth share. Attackers who also spread their
-// bandwidth across many concurrent hard requests fare even worse:
-// each request bids slowly, keeps getting suspended, and is aborted
-// after 30 s (the paper's timeout), paying for service it never gets.
+// queries (50 ms of server time) while the bots run the "mimic"
+// adversary strategy: good-client impersonation (the §8.1 smart bots
+// that fly under rate-profiling radar) at 3x aggressiveness, each
+// query intentionally 10x-hard (Work). A thinner that charges per
+// *request* still loses most of the server's time to them; the §5
+// quantum scheduler charges per 50 ms *quantum* of service —
+// suspending the active request whenever a contender outbids it — so
+// hard requests cost ten times as much and the bots' time share
+// collapses to (at most) their bandwidth share.
+//
+// Swap the Strategy name to explore the rest of the registry —
+// "defector" bots additionally refuse to pay full price, "onoff" bots
+// pulse — the frontier across all of them is `go run ./cmd/repro
+// -experiment adversary`.
 //
 // Run with: go run ./examples/searchattack
 package main
@@ -28,10 +33,12 @@ func main() {
 	easy := 50 * time.Millisecond
 	groups := []speakup.ClientGroup{
 		{Name: "searchers", Count: 10, Good: true, Work: easy},
-		{Name: "bots", Count: 10, Good: false, Work: 10 * easy},
+		// Mimic at 3x: λ=6, w=3 — looks like an eager human, burns 500ms
+		// of server time per query.
+		{Name: "bots", Count: 10, Strategy: "mimic", Aggressiveness: 3, Work: 10 * easy},
 	}
-
-	fmt.Println("search-engine attack: bots send 10x-expensive queries, equal bandwidth")
+	fmt.Printf("search-engine attack: %s\n", speakup.AdversaryDoc("mimic"))
+	fmt.Println("bots send 10x-expensive queries at equal bandwidth")
 	fmt.Println()
 	for _, tc := range []struct {
 		label string

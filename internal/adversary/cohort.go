@@ -1,0 +1,105 @@
+package adversary
+
+import "sync/atomic"
+
+// CohortSlots is the number of burst-phase slots a cohort's period is
+// divided into for coupon-collection (see the adaptive strategy).
+const CohortSlots = 8
+
+// Cohort coordinates the strategy instances of one attacking group.
+// It models a botnet with a *fixed aggregate bandwidth budget*: the
+// pool holds members × rate requests/s, members claim their share on
+// join, and adaptive members reallocate — a starved member can only
+// speed up with rate that a comfortable member released, so the
+// cohort as a whole never exceeds its budget (the paper's threat
+// model: attackers are bandwidth-bound, not rate-bound).
+//
+// It also tracks which of the CohortSlots burst-phase slots have ever
+// produced a win — the adversarial coupon-collection of Fleck et
+// al.'s reconnaissance model: members probe distinct phases and
+// rotate toward the uncollected ones until every phase has been won,
+// then start over (the defense may have adapted).
+//
+// All state is atomic: the simulator drives a cohort from one
+// goroutine (deterministically), the live load generator from many.
+type Cohort struct {
+	members atomic.Int32
+	pool    atomic.Int64 // unclaimed rate, milli-requests/s
+	won     [CohortSlots]atomic.Bool
+	wins    atomic.Uint64 // cohort-wide served count (reporting)
+}
+
+// NewCohort creates the shared state for a group of `members` clients
+// running spec. The bandwidth budget is members × the spec's scaled
+// rate; each member claims its base share when its strategy joins.
+func NewCohort(spec Spec, members int) *Cohort {
+	if members < 1 {
+		members = 1
+	}
+	spec = spec.withDefaults()
+	c := &Cohort{}
+	c.pool.Store(int64(members) * milliRate(spec.rate()))
+	return c
+}
+
+// Join registers one member and returns its starting phase slot,
+// assigned round-robin so the cohort covers all slots.
+func (c *Cohort) Join() int {
+	return int(c.members.Add(1)-1) % CohortSlots
+}
+
+// Claim takes up to wantMilli of unclaimed rate from the pool and
+// returns what was granted.
+func (c *Cohort) Claim(wantMilli int64) int64 {
+	if wantMilli <= 0 {
+		return 0
+	}
+	for {
+		have := c.pool.Load()
+		grant := wantMilli
+		if grant > have {
+			grant = have
+		}
+		if grant <= 0 {
+			return 0
+		}
+		if c.pool.CompareAndSwap(have, have-grant) {
+			return grant
+		}
+	}
+}
+
+// Release returns rate to the pool.
+func (c *Cohort) Release(milli int64) {
+	if milli > 0 {
+		c.pool.Add(milli)
+	}
+}
+
+// MarkWon records a win in the given phase slot.
+func (c *Cohort) MarkWon(slot int) {
+	c.wins.Add(1)
+	c.won[slot%CohortSlots].Store(true)
+}
+
+// Wins returns the cohort-wide served count.
+func (c *Cohort) Wins() uint64 { return c.wins.Load() }
+
+// NextPhase returns the next uncollected phase slot after cur. When
+// every slot has been won the collection resets — the defense may
+// have adapted, so the cohort starts probing over.
+func (c *Cohort) NextPhase(cur int) int {
+	for i := 1; i <= CohortSlots; i++ {
+		s := (cur + i) % CohortSlots
+		if !c.won[s].Load() {
+			return s
+		}
+	}
+	for i := range c.won {
+		c.won[i].Store(false)
+	}
+	return (cur + 1) % CohortSlots
+}
+
+// milliRate converts requests/s to the pool's milli-units.
+func milliRate(r float64) int64 { return int64(r*1000 + 0.5) }

@@ -40,6 +40,15 @@ type ClientApp struct {
 	OnOutcome func(RequestOutcome)
 }
 
+// Payer sizes payment POSTs dynamically; adversary strategies
+// (internal/adversary) implement it. PostSize returns the next POST
+// size for a request that has paid `paid` bytes so far, given the
+// protocol default def; <= 0 stops paying while keeping the request
+// open (the defector's move — the thinner's timeouts must clean up).
+type Payer interface {
+	PostSize(now time.Duration, paid int64, def int) int
+}
+
 // ClientAppConfig tunes protocol behaviour.
 type ClientAppConfig struct {
 	// PayConns is the number of parallel payment connections opened
@@ -47,6 +56,9 @@ type ClientAppConfig struct {
 	PayConns int
 	// MaxRetryPipeline caps outstanding §3.2 retries. Default 32.
 	MaxRetryPipeline int
+	// Payer, if non-nil, sizes each payment POST; nil pays the
+	// protocol default (Sizes.Post) until terminated.
+	Payer Payer
 }
 
 func (c ClientAppConfig) withDefaults() ClientAppConfig {
@@ -147,10 +159,18 @@ func (a *ClientApp) openPayment(r *clientReq) {
 		conn := a.stack.Dial(a.thinner, nil)
 		r.payConns = append(r.payConns, conn)
 		post := func() {
-			if !conn.Closed() {
-				conn.Write(a.sizes.Post, postMsg)
-				r.paid += int64(a.sizes.Post)
+			if conn.Closed() {
+				return
 			}
+			size := a.sizes.Post
+			if a.cfg.Payer != nil {
+				size = a.cfg.Payer.PostSize(a.loop.Now(), r.paid, a.sizes.Post)
+				if size <= 0 {
+					return // defect: stop paying, keep the request open
+				}
+			}
+			conn.Write(size, postMsg)
+			r.paid += int64(size)
 		}
 		post()
 		conn.OnRecord = func(meta any) {

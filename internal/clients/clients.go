@@ -17,12 +17,29 @@ import (
 	"speakup/internal/core"
 )
 
+// Pacer drives arrival pacing and windowing dynamically; the
+// adversary strategies (internal/adversary) implement it. Gap draws
+// the next inter-arrival gap (all randomness must come from rng, so
+// the client stays a pure function of its seed); Window returns the
+// outstanding-request cap in force at now — it may change over time
+// (e.g. collapse to 0 between bursts).
+type Pacer interface {
+	Gap(now time.Duration, rng *rand.Rand) time.Duration
+	Window(now time.Duration) int
+}
+
 // Config parameterizes one client.
 type Config struct {
-	// Lambda is the Poisson request rate per second. Required.
+	// Lambda is the Poisson request rate per second. Required unless
+	// Pacer is set.
 	Lambda float64
-	// Window is the max outstanding requests w. Required.
+	// Window is the max outstanding requests w. Required unless Pacer
+	// is set.
 	Window int
+	// Pacer, if non-nil, replaces the fixed Poisson(Lambda)/Window
+	// process with strategy-driven pacing; Lambda and Window are then
+	// ignored.
+	Pacer Pacer
 	// BacklogTimeout denies queued requests after this long. Default 10s.
 	BacklogTimeout time.Duration
 	// Good labels the client for reporting (it does not change behaviour;
@@ -81,7 +98,7 @@ type Client struct {
 // (the scenario shares one counter across all clients). Call Start to
 // begin generating.
 func New(clock core.Clock, cfg Config, nextID func() core.RequestID) *Client {
-	if cfg.Lambda <= 0 || cfg.Window <= 0 {
+	if cfg.Pacer == nil && (cfg.Lambda <= 0 || cfg.Window <= 0) {
 		panic("clients: Lambda and Window must be positive")
 	}
 	if nextID == nil {
@@ -131,15 +148,28 @@ func (c *Client) scheduleArrival() {
 	if c.stopped {
 		return
 	}
-	gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
+	var gap time.Duration
+	if c.cfg.Pacer != nil {
+		gap = c.cfg.Pacer.Gap(c.clock.Now(), c.rng)
+	} else {
+		gap = time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
+	}
 	c.stopArrival = c.clock.After(gap, c.arrivalFn)
+}
+
+// window returns the cap in force now (dynamic under a Pacer).
+func (c *Client) window() int {
+	if c.cfg.Pacer != nil {
+		return c.cfg.Pacer.Window(c.clock.Now())
+	}
+	return c.cfg.Window
 }
 
 func (c *Client) arrival() {
 	c.stats.Generated++
 	c.expireBacklog()
 	id := c.nextID()
-	if c.outstanding < c.cfg.Window {
+	if c.outstanding < c.window() {
 		c.issue(id)
 		return
 	}
@@ -193,7 +223,7 @@ func (c *Client) completeOne() {
 		c.outstanding--
 	}
 	c.expireBacklog()
-	for c.outstanding < c.cfg.Window && len(c.backlog) > 0 {
+	for c.outstanding < c.window() && len(c.backlog) > 0 {
 		e := c.backlog[0]
 		c.backlog = c.backlog[1:]
 		c.issue(e.id)

@@ -1,6 +1,7 @@
 package clients
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -183,4 +184,49 @@ func TestConfigValidation(t *testing.T) {
 		}()
 		New(simclock.New(loop), Config{Lambda: 1, Window: 1}, nil)
 	}()
+}
+
+// pulsePacer is a minimal Pacer: fixed 100ms gaps, window 3 for the
+// first half of the run and 0 afterwards.
+type pulsePacer struct{ cut time.Duration }
+
+func (p *pulsePacer) Gap(now time.Duration, _ *rand.Rand) time.Duration {
+	return 100 * time.Millisecond
+}
+
+func (p *pulsePacer) Window(now time.Duration) int {
+	if now >= p.cut {
+		return 0
+	}
+	return 3
+}
+
+// TestPacerDrivesTimingAndWindow: with a Pacer set, Lambda/Window are
+// ignored, gaps come from the pacer, and a collapsed window stops
+// issuing (arrivals pile into the backlog) and blocks backlog refill.
+func TestPacerDrivesTimingAndWindow(t *testing.T) {
+	loop := sim.NewLoop(11)
+	p := &pulsePacer{cut: 5 * time.Second}
+	// Lambda/Window zero: must not panic with a Pacer.
+	c := New(simclock.New(loop), Config{Seed: 1, Pacer: p}, idGen())
+	issuedBeforeCut := 0
+	c.Issue = func(id core.RequestID) {
+		if loop.Now() < p.cut {
+			issuedBeforeCut++
+		} else {
+			t.Fatalf("issued at %v, after the window collapsed", loop.Now())
+		}
+		// Complete instantly: windows never bind before the cut.
+		loop.After(time.Millisecond, func() { c.RequestServed(id) })
+	}
+	c.Start()
+	loop.Run(8 * time.Second)
+	// 10 arrivals/s for 5s, window never binding: ~50 issues.
+	if issuedBeforeCut < 45 || issuedBeforeCut > 55 {
+		t.Fatalf("issued %d before the cut, want ~50 (fixed 100ms gaps)", issuedBeforeCut)
+	}
+	// After the cut arrivals keep landing in the backlog.
+	if c.BacklogLen() == 0 {
+		t.Fatal("collapsed window should leave arrivals in the backlog")
+	}
 }

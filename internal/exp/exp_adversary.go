@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+
+	"speakup/internal/adversary"
+	"speakup/internal/appsim"
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+	"speakup/internal/sweep"
+)
+
+// AdversaryPoint is one cell of the robustness-frontier sweep: one
+// strategy at one aggressiveness against one bad:good bandwidth
+// ratio.
+type AdversaryPoint struct {
+	Strategy string
+	// Aggro scales the strategy's nominal demand (rate and window).
+	Aggro float64
+	// BWRatio is the attackers' per-client access bandwidth as a
+	// multiple of the good clients' 2 Mbit/s.
+	BWRatio float64
+
+	FracGoodServed float64
+	GoodAllocation float64
+	BadServed      uint64
+	// BadPaidMB is the payment the attack actually spent (client-side
+	// pushed bytes) — how expensive speak-up made the strategy.
+	BadPaidMB float64
+	// BadDenied counts attacker arrivals that died in their backlog:
+	// demand the strategy generated but could not present.
+	BadDenied uint64
+}
+
+// FrontierRow is one strategy's worst case across the scanned grid —
+// the robustness frontier speak-up has to hold.
+type FrontierRow struct {
+	Strategy string
+	// Worst is the minimum fraction of good requests served across
+	// all (aggro, bandwidth-ratio) cells of this strategy; WorstAggro
+	// and WorstBWRatio locate the minimizing cell.
+	Worst        float64
+	WorstAggro   float64
+	WorstBWRatio float64
+	// MeanGoodAlloc averages the good allocation over the strategy's
+	// cells (how far the auction stays from bandwidth-proportional).
+	MeanGoodAlloc float64
+}
+
+// AdversaryResult holds the full grid and its frontier.
+type AdversaryResult struct {
+	Points   []AdversaryPoint
+	Frontier []FrontierRow
+	// Events is the total simulator events across the sweep (the
+	// benchmark harness reports events/sec over it).
+	Events uint64
+}
+
+// adversaryAggros and adversaryRatios are the scanned axes.
+var (
+	adversaryAggros = []float64{1, 2}
+	adversaryRatios = []float64{1, 2}
+)
+
+// Table renders the full grid.
+func (r *AdversaryResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Adversary sweep: good service vs strategy x aggressiveness x bandwidth ratio (10 good / 10 attackers, c=30)",
+		"strategy", "aggro", "bw ratio", "frac good served", "good alloc", "bad served", "bad denied", "bad paid (MB)")
+	for _, p := range r.Points {
+		t.AddRow(p.Strategy, p.Aggro, p.BWRatio, p.FracGoodServed, p.GoodAllocation,
+			p.BadServed, p.BadDenied, p.BadPaidMB)
+	}
+	return t
+}
+
+// FrontierTable renders the per-strategy worst case — the paper's
+// robustness claim quantified: no strategy should push the worst-case
+// good service far below the bandwidth-proportional share.
+func (r *AdversaryResult) FrontierTable() *metrics.Table {
+	t := metrics.NewTable(
+		"Robustness frontier: worst-case good service per strategy",
+		"strategy", "worst frac good served", "at aggro", "at bw ratio", "mean good alloc")
+	for _, f := range r.Frontier {
+		t.AddRow(f.Strategy, f.Worst, f.WorstAggro, f.WorstBWRatio, f.MeanGoodAlloc)
+	}
+	return t
+}
+
+// Adversary sweeps every registered attacker strategy (internal/
+// adversary) over aggressiveness and bad:good bandwidth ratio: 10
+// good clients against 10 attackers, c = 30 (well under the ideal
+// provisioning c_id = 40, so good service genuinely contends with the
+// attack). The frontier is the per-strategy minimum of
+// the fraction of good requests served — speak-up's robustness claim
+// (§6-§7) is that this floor stays near the good clients' bandwidth
+// share no matter how the attackers time, mimic, cheat, or adapt.
+func Adversary(o Opts) *AdversaryResult {
+	o = o.withDefaults()
+	var g sweep.Grid
+	type cell struct {
+		strategy     string
+		aggro, ratio float64
+	}
+	var cells []cell
+	for _, s := range adversary.Names() {
+		for _, a := range adversaryAggros {
+			for _, r := range adversaryRatios {
+				g.Add(fmt.Sprintf("adversary/%s/aggro=%g/bw=%gx", s, a, r), scenario.Config{
+					Seed: o.Seed, Duration: o.Duration, Capacity: 30,
+					Mode: appsim.ModeAuction,
+					Groups: []scenario.ClientGroup{
+						{Name: "good", Count: 10, Good: true},
+						{Name: s, Count: 10, Strategy: s, Aggressiveness: a, Bandwidth: 2e6 * r},
+					},
+				})
+				cells = append(cells, cell{strategy: s, aggro: a, ratio: r})
+			}
+		}
+	}
+	res := &AdversaryResult{}
+	for i, sr := range o.sweepGrid(&g) {
+		c, r := cells[i], sr.Result
+		bad := &r.Groups[1]
+		res.Points = append(res.Points, AdversaryPoint{
+			Strategy:       c.strategy,
+			Aggro:          c.aggro,
+			BWRatio:        c.ratio,
+			FracGoodServed: r.FractionGoodServed,
+			GoodAllocation: r.GoodAllocation,
+			BadServed:      bad.Served,
+			BadPaidMB:      float64(bad.PaidBytes) / 1e6,
+			BadDenied:      bad.Denied,
+		})
+		res.Events += r.Events
+	}
+	for _, s := range adversary.Names() {
+		row := FrontierRow{Strategy: s, Worst: 2}
+		n := 0
+		for _, p := range res.Points {
+			if p.Strategy != s {
+				continue
+			}
+			if p.FracGoodServed < row.Worst {
+				row.Worst = p.FracGoodServed
+				row.WorstAggro = p.Aggro
+				row.WorstBWRatio = p.BWRatio
+			}
+			row.MeanGoodAlloc += p.GoodAllocation
+			n++
+		}
+		row.MeanGoodAlloc /= float64(n)
+		res.Frontier = append(res.Frontier, row)
+	}
+	return res
+}

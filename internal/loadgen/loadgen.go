@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speakup/internal/adversary"
 	"speakup/internal/core"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	PostBytes int
 	// Good labels the client in reports.
 	Good bool
+	// Strategy, if non-nil, drives arrival pacing, the outstanding
+	// window, and payment sizing (see internal/adversary); Lambda and
+	// Window are then ignored. The same strategy implementations that
+	// drive the simulator drive real HTTP traffic here.
+	Strategy adversary.Strategy
 	// Seed seeds the arrival process.
 	Seed int64
 	// Client optionally overrides the HTTP client (tests inject
@@ -76,6 +82,9 @@ type Client struct {
 	rngMu  sync.Mutex
 	ids    *atomic.Uint64 // shared across clients for unique ids
 
+	started     time.Time    // strategy clocks run on elapsed time
+	outstanding atomic.Int64 // in-flight requests (strategy windowing)
+
 	Stats Stats
 
 	stop chan struct{}
@@ -86,7 +95,7 @@ type Client struct {
 // run so request IDs are unique.
 func NewClient(cfg Config, ids *atomic.Uint64) *Client {
 	cfg = cfg.withDefaults()
-	if cfg.Lambda <= 0 || cfg.Window <= 0 {
+	if cfg.Strategy == nil && (cfg.Lambda <= 0 || cfg.Window <= 0) {
 		panic("loadgen: Lambda and Window must be positive")
 	}
 	return &Client{
@@ -100,9 +109,13 @@ func NewClient(cfg Config, ids *atomic.Uint64) *Client {
 
 // Run generates load until Stop is called.
 func (c *Client) Run() {
+	c.started = time.Now()
 	c.wg.Add(1)
 	go c.arrivals()
 }
+
+// now is the strategy clock: elapsed time since Run.
+func (c *Client) now() time.Duration { return time.Since(c.started) }
 
 // Stop halts generation and waits for in-flight requests to wind down.
 func (c *Client) Stop() {
@@ -112,7 +125,12 @@ func (c *Client) Stop() {
 
 func (c *Client) arrivals() {
 	defer c.wg.Done()
-	sem := make(chan struct{}, c.cfg.Window)
+	// Strategy clients count in-flight requests against a dynamic cap
+	// instead; the fixed semaphore exists only for the classic path.
+	var sem chan struct{}
+	if c.cfg.Strategy == nil {
+		sem = make(chan struct{}, c.cfg.Window)
+	}
 	// One reusable timer for the whole arrival loop: time.After would
 	// allocate a fresh runtime timer per gap, which at high lambda is
 	// measurable garbage on the load-generation path.
@@ -120,7 +138,12 @@ func (c *Client) arrivals() {
 	defer gapTimer.Stop()
 	for {
 		c.rngMu.Lock()
-		gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
+		var gap time.Duration
+		if c.cfg.Strategy != nil {
+			gap = c.cfg.Strategy.Gap(c.now(), c.rng)
+		} else {
+			gap = time.Duration(c.rng.ExpFloat64() / c.cfg.Lambda * float64(time.Second))
+		}
 		c.rngMu.Unlock()
 		gapTimer.Reset(gap)
 		select {
@@ -128,22 +151,22 @@ func (c *Client) arrivals() {
 			return
 		case <-gapTimer.C:
 		}
+		if c.cfg.Strategy != nil {
+			// Strategy windows change over time, so a fixed-capacity
+			// semaphore cannot model them; count in-flight requests
+			// against the cap in force right now.
+			if c.outstanding.Load() >= int64(c.cfg.Strategy.Window(c.now())) {
+				c.Stats.Dropped.Add(1)
+				c.cfg.Strategy.Observe(adversary.Outcome{Denied: true, Now: c.now()})
+				continue
+			}
+			c.outstanding.Add(1)
+			c.launch(func() { c.outstanding.Add(-1) })
+			continue
+		}
 		select {
 		case sem <- struct{}{}:
-			id := core.RequestID(c.ids.Add(1))
-			c.Stats.Issued.Add(1)
-			c.wg.Add(1)
-			go func() {
-				defer c.wg.Done()
-				defer func() { <-sem }()
-				start := time.Now()
-				if c.doRequest(id) {
-					c.Stats.Served.Add(1)
-					c.Stats.Latency.Observe(time.Since(start))
-				} else {
-					c.Stats.Failed.Add(1)
-				}
-			}()
+			c.launch(func() { <-sem })
 		default:
 			// Window full: the paper's client would queue in a backlog;
 			// over real sockets we drop immediately (equivalent to an
@@ -153,35 +176,64 @@ func (c *Client) arrivals() {
 	}
 }
 
+// launch runs one request in its own goroutine; release frees the
+// window slot when it completes.
+func (c *Client) launch(release func()) {
+	id := core.RequestID(c.ids.Add(1))
+	c.Stats.Issued.Add(1)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer release()
+		start := time.Now()
+		served, paid := c.doRequest(id)
+		if served {
+			c.Stats.Served.Add(1)
+			c.Stats.Latency.Observe(time.Since(start))
+		} else {
+			c.Stats.Failed.Add(1)
+		}
+		if c.cfg.Strategy != nil {
+			c.cfg.Strategy.Observe(adversary.Outcome{
+				Served: served, Paid: paid, Now: c.now(),
+			})
+		}
+	}()
+}
+
 func (c *Client) url(path string, id core.RequestID, extra string) string {
 	return fmt.Sprintf("%s%s?id=%d%s", c.cfg.BaseURL, path, uint64(id), extra)
 }
 
-// doRequest walks the speak-up protocol once; reports success.
-func (c *Client) doRequest(id core.RequestID) bool {
+// doRequest walks the speak-up protocol once; it reports success and
+// the payment bytes this request pushed.
+func (c *Client) doRequest(id core.RequestID) (bool, int64) {
 	// Requests cost a little upload budget, too.
 	c.bucket.Take(200)
 	resp, err := c.cfg.Client.Get(c.url("/request", id, ""))
 	if err != nil {
-		return false
+		return false, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return true
+		return true, 0
 	case http.StatusPaymentRequired:
 		return c.payAndWait(id)
 	default:
-		return false
+		return false, 0
 	}
 }
 
 // payAndWait re-issues the actual request and streams payment POSTs
-// until admitted (then collects the held response) or evicted.
-func (c *Client) payAndWait(id core.RequestID) bool {
+// until admitted (then collects the held response) or evicted. With a
+// Strategy, each POST is sized by the strategy; a zero size defects —
+// payment stops while the request stays open, camping on its bid.
+func (c *Client) payAndWait(id core.RequestID) (bool, int64) {
 	done := make(chan bool, 1)
 	var stopped atomic.Bool
+	var paid atomic.Int64
 	// The actual request (1), held by the thinner until served.
 	go func() {
 		c.bucket.Take(200)
@@ -194,12 +246,19 @@ func (c *Client) payAndWait(id core.RequestID) bool {
 		resp.Body.Close()
 		done <- resp.StatusCode == http.StatusOK
 	}()
-	// The payment channel (2): POSTs until admitted/evicted.
+	// The payment channel (2): POSTs until admitted/evicted/defected.
 	go func() {
 		for !stopped.Load() {
+			size := c.cfg.PostBytes
+			if c.cfg.Strategy != nil {
+				size = c.cfg.Strategy.PostSize(c.now(), paid.Load(), c.cfg.PostBytes)
+				if size <= 0 {
+					return // defect: stop paying, keep the waiter open
+				}
+			}
 			body := &shapedReader{
 				bucket:  c.bucket,
-				total:   c.cfg.PostBytes,
+				total:   size,
 				chunk:   16 << 10,
 				stopped: stopped.Load,
 			}
@@ -209,6 +268,7 @@ func (c *Client) payAndWait(id core.RequestID) bool {
 			}
 			raw, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
+			paid.Add(body.Sent())
 			c.Stats.PaidBytes.Add(body.Sent())
 			if stopped.Load() || !isContinue(raw) {
 				return
@@ -218,10 +278,10 @@ func (c *Client) payAndWait(id core.RequestID) bool {
 	select {
 	case ok := <-done:
 		stopped.Store(true)
-		return ok
+		return ok, paid.Load()
 	case <-c.stop:
 		stopped.Store(true)
-		return false
+		return false, paid.Load()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"speakup/internal/adversary"
 	"speakup/internal/core"
 	"speakup/internal/web"
 )
@@ -166,5 +167,62 @@ func TestEndToEndGoodVsBad(t *testing.T) {
 	}
 	if good.Stats.PaidBytes.Load() == 0 || bad.Stats.PaidBytes.Load() == 0 {
 		t.Fatal("payment channels never carried bytes")
+	}
+}
+
+// TestEndToEndAdversaryStrategies drives every registered adversary
+// strategy over real loopback HTTP against a live front. This is a
+// liveness test: each strategy must issue requests, the protocol must
+// terminate, and the front must survive (allocation claims are the
+// simulator's job). The flood and defector paths exercise the waiter
+// bookkeeping and the inactivity-eviction path respectively.
+func TestEndToEndAdversaryStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-socket runs; skipped with -short")
+	}
+	for _, name := range adversary.Names() {
+		t.Run(name, func(t *testing.T) {
+			origin := web.NewEmulatedOrigin(20)
+			front := web.NewFront(origin, web.Config{
+				PayPollInterval: 5 * time.Millisecond,
+				Thinner: core.Config{
+					OrphanTimeout:     500 * time.Millisecond,
+					InactivityTimeout: 500 * time.Millisecond,
+					SweepInterval:     50 * time.Millisecond,
+				},
+			})
+			srv := httptest.NewServer(front)
+			defer srv.Close()
+			defer front.Close()
+
+			var ids atomic.Uint64
+			good := NewClient(Config{
+				BaseURL: srv.URL, Lambda: 4, Window: 2, Good: true,
+				UploadBits: 16e6, PostBytes: 32 << 10, Seed: 1,
+			}, &ids)
+			spec := adversary.Spec{Name: name, Period: 2 * time.Second}
+			atk := NewClient(Config{
+				BaseURL:  srv.URL,
+				Strategy: spec.New(adversary.NewCohort(spec, 1)),
+				// Tiny POSTs keep per-request pay time well under the
+				// run length at loopback speed.
+				UploadBits: 16e6, PostBytes: 32 << 10, Seed: 2,
+			}, &ids)
+			good.Run()
+			atk.Run()
+			time.Sleep(2500 * time.Millisecond)
+			good.Stop()
+			atk.Stop()
+
+			if atk.Stats.Issued.Load() == 0 {
+				t.Fatalf("%s issued nothing in 2.5s", name)
+			}
+			if good.Stats.Served.Load() == 0 {
+				t.Fatalf("good client starved under %s in a live run", name)
+			}
+			t.Logf("%s: issued=%d served=%d failed=%d dropped=%d paid=%dB",
+				name, atk.Stats.Issued.Load(), atk.Stats.Served.Load(),
+				atk.Stats.Failed.Load(), atk.Stats.Dropped.Load(), atk.Stats.PaidBytes.Load())
+		})
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"speakup/internal/adversary"
 	"speakup/internal/appsim"
 	"speakup/internal/clients"
 	"speakup/internal/core"
@@ -35,8 +36,18 @@ type ClientGroup struct {
 	// Count is the number of clients.
 	Count int
 	// Good selects the workload defaults: good clients use λ=2, w=1;
-	// bad clients use λ=40, w=20 (§7.1).
+	// bad clients use λ=40, w=20 (§7.1). Mutually exclusive with
+	// Strategy, which defines attacker behaviour on its own.
 	Good bool
+	// Strategy names an adversary profile driving this group's
+	// clients ("onoff", "mimic", "defector", "flood", "adaptive",
+	// "poisson" — see internal/adversary); empty keeps the fixed
+	// Poisson(Lambda)/Window behaviour selected by Good. Lambda,
+	// Window, and Work become overrides of the profile's defaults.
+	Strategy string
+	// Aggressiveness scales the named Strategy's nominal demand
+	// (request rate and window); 0 means 1. Only valid with Strategy.
+	Aggressiveness float64
 	// Bandwidth is the access-link rate in bits/s. Default 2 Mbit/s.
 	Bandwidth float64
 	// LinkDelay is the one-way access-link delay. Default 250µs (LAN).
@@ -64,28 +75,47 @@ func (g ClientGroup) withDefaults(idx int) ClientGroup {
 	if g.LinkDelay == 0 {
 		g.LinkDelay = 250 * time.Microsecond
 	}
-	if g.Lambda == 0 {
-		if g.Good {
-			g.Lambda = 2
-		} else {
-			g.Lambda = 40
+	// With a Strategy, zero Lambda/Window mean "the profile's
+	// defaults" and must survive to spec construction unfilled.
+	if g.Strategy == "" {
+		if g.Lambda == 0 {
+			if g.Good {
+				g.Lambda = 2
+			} else {
+				g.Lambda = 40
+			}
 		}
-	}
-	if g.Window == 0 {
-		if g.Good {
-			g.Window = 1
-		} else {
-			g.Window = 20
+		if g.Window == 0 {
+			if g.Good {
+				g.Window = 1
+			} else {
+				g.Window = 20
+			}
 		}
 	}
 	if g.Name == "" {
 		kind := "bad"
-		if g.Good {
+		switch {
+		case g.Strategy != "":
+			kind = g.Strategy
+		case g.Good:
 			kind = "good"
 		}
 		g.Name = fmt.Sprintf("%s-%d", kind, idx)
 	}
 	return g
+}
+
+// spec translates the group's strategy declaration for the adversary
+// registry; zero overrides fall through to the profile's defaults.
+func (g ClientGroup) spec() adversary.Spec {
+	return adversary.Spec{
+		Name:           g.Strategy,
+		Aggressiveness: g.Aggressiveness,
+		Lambda:         g.Lambda,
+		Window:         g.Window,
+		Work:           g.Work,
+	}
 }
 
 // Bottleneck is a shared link between a set of clients and the LAN.
@@ -176,17 +206,37 @@ func (c Config) withDefaults() Config {
 
 // Validate reports configuration errors that Run would otherwise hit
 // as panics deep inside topology construction: a non-positive server
-// capacity, group bottleneck references out of range, and a bystander
-// without a bottleneck to share. The sweep engine validates every grid
-// cell before fanning work out to its workers.
+// capacity, group bottleneck references out of range, a bystander
+// without a bottleneck to share, and bad adversary declarations
+// (unknown strategy names, invalid strategy knobs, or a group that
+// sets both Good and Strategy — the latter used to silently keep the
+// good-client λ/w defaults while running attacker code). The sweep
+// engine validates every grid cell before fanning work out to its
+// workers.
 func (c Config) Validate() error {
 	if c.Capacity <= 0 {
 		return fmt.Errorf("scenario: Capacity must be positive, got %g", c.Capacity)
 	}
-	for _, g := range c.Groups {
+	for i, g := range c.Groups {
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", i)
+		}
 		if g.Bottleneck < 0 || g.Bottleneck > len(c.Bottlenecks) {
 			return fmt.Errorf("scenario: group %q references bottleneck %d, have %d",
-				g.Name, g.Bottleneck, len(c.Bottlenecks))
+				name, g.Bottleneck, len(c.Bottlenecks))
+		}
+		if g.Strategy != "" {
+			if g.Good {
+				return fmt.Errorf("scenario: group %q sets both Good and Strategy %q; adversary strategies define bad-client behaviour — drop one",
+					name, g.Strategy)
+			}
+			if err := g.spec().Validate(); err != nil {
+				return fmt.Errorf("scenario: group %q: %v", name, err)
+			}
+		} else if g.Aggressiveness != 0 {
+			return fmt.Errorf("scenario: group %q sets Aggressiveness %g without a Strategy",
+				name, g.Aggressiveness)
 		}
 	}
 	if c.BystanderH != nil && len(c.Bottlenecks) == 0 {
@@ -308,6 +358,31 @@ func Run(cfg Config) *Result {
 	}
 	n.ComputeRoutes()
 
+	// --- adversary strategies ---
+	// One cohort per strategy group (shared bandwidth budget and
+	// coupon-collection state); one strategy instance per client,
+	// created in the slots loop below. None of this allocates or runs
+	// when no group names a Strategy, so strategy-free configs remain
+	// byte-identical to the pre-adversary engine.
+	hasStrategy := false
+	for _, g := range cfg.Groups {
+		if g.Strategy != "" {
+			hasStrategy = true
+		}
+	}
+	var cohorts []*adversary.Cohort
+	var stratOf map[core.RequestID]adversary.Strategy // live ids of strategy clients
+	if hasStrategy {
+		cohorts = make([]*adversary.Cohort, len(cfg.Groups))
+		for gi, g := range cfg.Groups {
+			if g.Strategy != "" {
+				cohorts[gi] = adversary.NewCohort(g.spec(), g.Count)
+			}
+		}
+		stratOf = make(map[core.RequestID]adversary.Strategy)
+	}
+	var lastPrice int64 // last winning bid: the public price observable
+
 	// --- thinner + server ---
 	owner := make(map[core.RequestID]int) // id -> group index
 	srvCfg := server.Config{Capacity: cfg.Capacity, Seed: cfg.Seed + 9999}
@@ -320,6 +395,11 @@ func Run(cfg Config) *Result {
 	if groupHasWork {
 		fallback := time.Duration(float64(time.Second) / cfg.Capacity)
 		srvCfg.Work = func(id core.RequestID) time.Duration {
+			if st, ok := stratOf[id]; ok {
+				if w := st.Work(); w > 0 {
+					return w
+				}
+			}
 			if gi, ok := owner[id]; ok && cfg.Groups[gi].Work > 0 {
 				return cfg.Groups[gi].Work
 			}
@@ -349,16 +429,20 @@ func Run(cfg Config) *Result {
 	}
 
 	var nextID uint64
-	genFor := func(group int) func() core.RequestID {
+	genFor := func(group int, strat adversary.Strategy) func() core.RequestID {
 		return func() core.RequestID {
 			nextID++
 			id := core.RequestID(nextID)
 			owner[id] = group
+			if strat != nil {
+				stratOf[id] = strat
+			}
 			return id
 		}
 	}
 
 	thApp.OnAdmit = func(id core.RequestID, paid int64) {
+		lastPrice = paid
 		if loop.Now() < cfg.Warmup {
 			return
 		}
@@ -378,18 +462,40 @@ func Run(cfg Config) *Result {
 	var workloads []*clients.Client
 	for si, slot := range slots {
 		g := cfg.Groups[slot.group]
+		var strat adversary.Strategy
+		if g.Strategy != "" {
+			strat = g.spec().New(cohorts[slot.group])
+		}
 		stack := tcpsim.NewStack(n, slot.node, tcpsim.Options{})
 		wl := clients.New(clock, clients.Config{
 			Lambda: g.Lambda,
 			Window: g.Window,
 			Good:   g.Good,
 			Seed:   cfg.Seed*1_000_003 + int64(si),
-		}, genFor(slot.group))
+			Pacer:  strat,
+		}, genFor(slot.group, strat))
 		app := appsim.NewClientApp(stack, wl, tn, cfg.Sizes, appsim.ClientAppConfig{
 			PayConns: g.PayConns,
+			Payer:    strat,
 		})
 		gi := slot.group
+		if strat != nil {
+			wl.OnDenial = func(id core.RequestID) {
+				strat.Observe(adversary.Outcome{Denied: true, Now: clock.Now()})
+				delete(owner, id)
+				delete(stratOf, id)
+			}
+		}
 		app.OnOutcome = func(o appsim.RequestOutcome) {
+			if strat != nil {
+				strat.Observe(adversary.Outcome{
+					Served: o.Served,
+					Price:  lastPrice,
+					Paid:   o.PaidBytes,
+					Now:    loop.Now(),
+				})
+				delete(stratOf, o.ID)
+			}
 			if loop.Now() < cfg.Warmup {
 				delete(owner, o.ID)
 				return

@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"speakup/internal/adversary"
 	"speakup/internal/appsim"
 )
 
@@ -211,5 +213,137 @@ func TestRandomDropModeAlsoProtects(t *testing.T) {
 	// retries; good clients can afford it).
 	if res.GoodAllocation < 0.25 {
 		t.Fatalf("random-drop good allocation = %.3f, want substantial", res.GoodAllocation)
+	}
+}
+
+func TestValidateAdversaryGroups(t *testing.T) {
+	base := Config{Capacity: 10, Groups: []ClientGroup{{Count: 1, Good: true}}}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("baseline config invalid: %v", err)
+	}
+	cases := []struct {
+		name  string
+		group ClientGroup
+		want  string // substring of the expected error; "" = valid
+	}{
+		{"known strategy", ClientGroup{Count: 1, Strategy: "flood"}, ""},
+		{"strategy with knobs", ClientGroup{Count: 1, Strategy: "onoff", Aggressiveness: 2}, ""},
+		{"unknown strategy", ClientGroup{Count: 1, Strategy: "shrew"}, "unknown strategy"},
+		{"good plus strategy", ClientGroup{Count: 1, Good: true, Strategy: "mimic"}, "both Good and Strategy"},
+		{"negative aggressiveness", ClientGroup{Count: 1, Strategy: "flood", Aggressiveness: -1}, "Aggressiveness"},
+		{"aggressiveness without strategy", ClientGroup{Count: 1, Aggressiveness: 2}, "without a Strategy"},
+		{"negative lambda", ClientGroup{Count: 1, Strategy: "poisson", Lambda: -3}, "Lambda"},
+	}
+	for _, c := range cases {
+		cfg := base
+		cfg.Groups = []ClientGroup{{Count: 1, Good: true}, c.group}
+		err := cfg.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestStrategyGroupRuns drives every registered strategy through the
+// full simulator stack against a good-client population and checks
+// the run stays sane: attackers generate and are served something,
+// good clients are not wiped out, and the group name defaults to the
+// strategy.
+func TestStrategyGroupRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack strategy runs; skipped with -short")
+	}
+	for _, name := range adversary.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{
+				Seed: 5, Duration: 20 * time.Second, Capacity: 20,
+				Mode: appsim.ModeAuction,
+				Groups: []ClientGroup{
+					{Count: 3, Good: true},
+					{Count: 3, Strategy: name},
+				},
+			})
+			atk := &res.Groups[1]
+			if atk.Name != name+"-1" {
+				t.Errorf("attacker group name = %q, want %q", atk.Name, name+"-1")
+			}
+			if atk.Generated == 0 || atk.Issued == 0 {
+				t.Fatalf("%s generated %d / issued %d requests", name, atk.Generated, atk.Issued)
+			}
+			good := &res.Groups[0]
+			if good.Served == 0 {
+				t.Fatalf("%s wiped out the good clients entirely", name)
+			}
+			// Speak-up's core robustness claim: no strategy at equal
+			// bandwidth should push the good clients far below their
+			// bandwidth-proportional half.
+			if res.GoodAllocation < 0.25 {
+				t.Errorf("%s: good allocation %.3f, want >= 0.25 at equal bandwidth",
+					name, res.GoodAllocation)
+			}
+		})
+	}
+}
+
+// TestDefectorPaysLessButWinsLess: the defector's whole point is to
+// underpay; the auction's whole point is that underpaying loses.
+func TestDefectorPaysLessButWinsLess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack strategy run; skipped with -short")
+	}
+	run := func(strategy string) *Result {
+		return Run(Config{
+			Seed: 8, Duration: 30 * time.Second, Capacity: 20,
+			Mode: appsim.ModeAuction,
+			Groups: []ClientGroup{
+				{Count: 3, Good: true},
+				{Count: 3, Strategy: strategy},
+			},
+		})
+	}
+	honest := run("poisson")
+	cheat := run("defector")
+	honestBad, cheatBad := &honest.Groups[1], &cheat.Groups[1]
+	if cheatBad.PaidBytes >= honestBad.PaidBytes {
+		t.Errorf("defector paid %d >= honest flood %d", cheatBad.PaidBytes, honestBad.PaidBytes)
+	}
+	if cheat.GoodAllocation < honest.GoodAllocation-0.05 {
+		t.Errorf("defection improved the attack: good allocation %.3f vs %.3f honest",
+			cheat.GoodAllocation, honest.GoodAllocation)
+	}
+}
+
+// TestOnOffPulsesInScenario: the pulsing attacker's served requests
+// all complete near the ON spans; the simulator sees real silence.
+func TestOnOffPulsesInScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack strategy run; skipped with -short")
+	}
+	res := Run(Config{
+		Seed: 9, Duration: 30 * time.Second, Capacity: 20,
+		Mode: appsim.ModeAuction,
+		Groups: []ClientGroup{
+			{Count: 3, Good: true},
+			{Count: 3, Strategy: "onoff"},
+		},
+	})
+	atk := &res.Groups[1]
+	if atk.Issued == 0 {
+		t.Fatal("onoff never issued")
+	}
+	// A 0.25-duty pulser offers ~the same λ as poisson but compressed
+	// into bursts; the backlog-denial count must reflect burst
+	// overflow (arrivals above the burst window).
+	if atk.Generated < 100 {
+		t.Fatalf("onoff generated only %d arrivals", atk.Generated)
 	}
 }

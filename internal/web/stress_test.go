@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"speakup/internal/adversary"
 	"speakup/internal/core"
+	"speakup/internal/loadgen"
 )
 
 // TestDuplicateRequestConflict is the regression test for the
@@ -236,6 +238,122 @@ func TestFrontStress(t *testing.T) {
 	}
 	if n := front.Table().Size(); n > 0 {
 		t.Fatalf("%d channels leaked past all timeouts", n)
+	}
+	if n := front.Table().Waiters(); n > 0 {
+		t.Fatalf("%d waiters leaked", n)
+	}
+}
+
+// TestFrontAdversarialStress turns the adversary suite loose on a
+// live front under -race: flood clients pile tiny-payment waiters
+// into the BidTable's waiter path while defectors stop paying
+// mid-auction and camp until the inactivity sweep evicts them, with a
+// pair of honest clients competing throughout. It asserts liveness
+// (the run terminates), that the defense actually engaged (evictions
+// happened, honest clients got served), and that the table and
+// waiter registry drain afterwards.
+func TestFrontAdversarialStress(t *testing.T) {
+	floods, defectors := 4, 4
+	if testing.Short() {
+		floods, defectors = 2, 2
+	}
+
+	origin := OriginFunc(func(id core.RequestID) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond)
+		return []byte("ok"), nil
+	})
+	front := NewFront(origin, Config{
+		PayPollInterval: 5 * time.Millisecond,
+		RequestTimeout:  10 * time.Second,
+		Thinner: core.Config{
+			OrphanTimeout:     250 * time.Millisecond,
+			InactivityTimeout: 400 * time.Millisecond,
+			SweepInterval:     25 * time.Millisecond,
+			Shards:            8,
+		},
+	})
+	srv := httptest.NewServer(front)
+	defer front.Close()
+	defer srv.Close()
+
+	newAttacker := func(name string, n int, seed int64) []*loadgen.Client {
+		spec := adversary.Spec{Name: name}
+		cohort := adversary.NewCohort(spec, n)
+		out := make([]*loadgen.Client, n)
+		var ids atomic.Uint64
+		ids.Store(uint64(seed) * 100_000)
+		for i := range out {
+			out[i] = loadgen.NewClient(loadgen.Config{
+				BaseURL:  srv.URL,
+				Strategy: spec.New(cohort),
+				// Loopback-fast uploads and small POSTs: the stress is
+				// concurrency, not bandwidth.
+				UploadBits: 200e6, PostBytes: 32 << 10,
+				Seed: seed + int64(i),
+			}, &ids)
+		}
+		return out
+	}
+	var honestIDs atomic.Uint64
+	honest := []*loadgen.Client{
+		loadgen.NewClient(loadgen.Config{
+			BaseURL: srv.URL, Lambda: 10, Window: 4, Good: true,
+			UploadBits: 200e6, PostBytes: 32 << 10, Seed: 1,
+		}, &honestIDs),
+		loadgen.NewClient(loadgen.Config{
+			BaseURL: srv.URL, Lambda: 10, Window: 4, Good: true,
+			UploadBits: 200e6, PostBytes: 32 << 10, Seed: 2,
+		}, &honestIDs),
+	}
+	honestIDs.Store(1_000_000_000)
+
+	all := append(newAttacker("flood", floods, 2_000), newAttacker("defector", defectors, 3_000)...)
+	all = append(all, honest...)
+	for _, c := range all {
+		c.Run()
+	}
+	runFor := 3 * time.Second
+	if testing.Short() {
+		runFor = 1500 * time.Millisecond
+	}
+	time.Sleep(runFor)
+
+	stopped := make(chan struct{})
+	go func() {
+		for _, c := range all {
+			c.Stop()
+		}
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(30 * time.Second):
+		t.Fatal("adversarial stress wedged: clients did not stop")
+	}
+
+	var honestServed uint64
+	for _, c := range honest {
+		honestServed += c.Stats.Served.Load()
+	}
+	st := front.Snapshot()
+	t.Logf("honest served=%d thinner=%+v", honestServed, st.ThinnerTotals)
+	if honestServed == 0 {
+		t.Fatal("honest clients starved: flood+defector shut the front down")
+	}
+	if st.ThinnerTotals.Admitted == 0 {
+		t.Fatal("nothing was ever admitted")
+	}
+	if st.ThinnerTotals.Evicted == 0 {
+		t.Fatal("defectors camping on unpaid bids were never evicted")
+	}
+	// Everything must drain: camped defector waiters, flood ids, all
+	// of it — give the sweeper a few rounds past the timeouts.
+	deadline := time.Now().Add(10 * time.Second)
+	for (front.Table().Size() > 0 || front.Table().Waiters() > 0) && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := front.Table().Size(); n > 0 {
+		t.Fatalf("%d payment channels leaked past all timeouts", n)
 	}
 	if n := front.Table().Waiters(); n > 0 {
 		t.Fatalf("%d waiters leaked", n)

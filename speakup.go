@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"speakup/internal/adversary"
 	"speakup/internal/appsim"
 	"speakup/internal/core"
 	"speakup/internal/scenario"
@@ -96,6 +97,49 @@ type (
 // SweepSummary renders an aggregate table of a completed sweep.
 func SweepSummary(title string, rs []SweepResult) fmt.Stringer {
 	return sweep.Summary(title, rs)
+}
+
+// Adversary suite. A strategy-driven attacker engine shared by the
+// simulator and the live load generator: declare an attacker by name
+// on a [ClientGroup] (Strategy: "onoff", "mimic", "defector",
+// "flood", "adaptive", "poisson") or drive real HTTP traffic with
+// `cmd/loadgen -attack <profile>`. internal/exp's Adversary
+// experiment sweeps the whole registry into a robustness-frontier
+// table (`cmd/repro -experiment adversary`).
+type (
+	// AdversaryStrategy drives one attacking client: request timing,
+	// windowing, payment sizing, and per-request work, adapted from
+	// observed feedback.
+	AdversaryStrategy = adversary.Strategy
+	// AdversarySpec declares a strategy by name with its knobs.
+	AdversarySpec = adversary.Spec
+	// AdversaryOutcome is the feedback one request produces.
+	AdversaryOutcome = adversary.Outcome
+	// AdversaryCohort coordinates a group's strategies: a shared
+	// bandwidth budget and coupon-collected burst phases.
+	AdversaryCohort = adversary.Cohort
+)
+
+// AdversaryNames lists the registered attacker strategies, sorted.
+func AdversaryNames() []string { return adversary.Names() }
+
+// AdversaryDoc returns a one-line description of a registered
+// strategy ("" if unknown).
+func AdversaryDoc(name string) string { return adversary.Doc(name) }
+
+// NewAdversaryCohort creates shared coordination state for a group of
+// `members` clients running spec.
+func NewAdversaryCohort(spec AdversarySpec, members int) *AdversaryCohort {
+	return adversary.NewCohort(spec, members)
+}
+
+// NewAdversary validates spec and builds one strategy instance;
+// cohort may be nil for uncoordinated strategies.
+func NewAdversary(spec AdversarySpec, cohort *AdversaryCohort) (AdversaryStrategy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec.New(cohort), nil
 }
 
 // Core building blocks (transport-independent thinner policies).
