@@ -2,7 +2,21 @@
 // and writes them to a machine-readable JSON file, the per-PR
 // benchmark trajectory (BENCH_PR2.json, BENCH_PR3.json, ...).
 //
-// PR 3 (the default) benchmarks the LIVE thinner's payment hot path:
+// PR 5 (the default) benchmarks the auction and eviction paths under
+// flood — the regime the PR 4 flood strategy creates, tens of
+// thousands of concurrent payment channels:
+//
+//   - winner_indexed vs winner_scan: winner selection over >=64k
+//     eligible channels with GOMAXPROCS concurrent payers. The indexed
+//     path (per-shard price heaps repaired from a lock-free dirty
+//     stack, tournament over shard maxima) is compared against the
+//     retained pre-PR5 full-scan reference (WinnerByScan), whose cost
+//     grows linearly with attack size.
+//   - sweep_tick_indexed vs sweep_tick_scan: one timeout-sweep tick
+//     (orphan-prefix pop + timing-wheel advance) vs the old full-table
+//     Orphans+Inactive walk.
+//
+// PR 3 benchmarks the LIVE thinner's payment hot path:
 //
 //   - concurrent_ingest: N loopback POST /pay streams write 16 KB
 //     chunks for a fixed window; the result is server-side credited
@@ -28,8 +42,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson                  # writes BENCH_PR3.json
-//	go run ./cmd/benchjson -streams 64 -window 10s
+//	go run ./cmd/benchjson                  # writes BENCH_PR5.json
+//	go run ./cmd/benchjson -pr 5 -flood 131072
+//	go run ./cmd/benchjson -pr 3 -streams 64 -window 10s
 //	go run ./cmd/benchjson -pr 2 -out BENCH_PR2.json
 //	go run ./cmd/benchjson -pr 4 -dur 10s   # adversary sweep events/sec
 package main
@@ -44,6 +59,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -100,15 +116,19 @@ type metricsJSON struct {
 }
 
 type fileJSON struct {
-	PR        int           `json:"pr"`
-	Generated string        `json:"generated"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	Baseline  metricsJSON   `json:"baseline"`
-	Current   []metricsJSON `json:"current"`
-	Speedup   float64       `json:"speedup_vs_baseline"`
+	PR        int    `json:"pr"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the parallelism the measurements actually ran
+	// with — on a single-CPU host "parallel" rows are degenerate, so
+	// they are omitted (see the -pr 4 path).
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Baseline   metricsJSON   `json:"baseline"`
+	Current    []metricsJSON `json:"current"`
+	Speedup    float64       `json:"speedup_vs_baseline"`
 }
 
 // ---- PR 3: live payment hot path ----
@@ -331,6 +351,123 @@ func measureAdversarySweep(dur time.Duration, workers int) metricsJSON {
 	return m
 }
 
+// ---- PR 5: indexed auctions and eviction under flood ----
+
+// floodBidTable builds the attack regime for the PR 5 measurements:
+// pop eligible channels with spread balances, plus one payer goroutine
+// per GOMAXPROCS crediting continuously through cached channels (the
+// exact hot path /pay handlers use). stop joins the payers.
+func floodBidTable(pop int) (bt *core.BidTable, pcs []*core.PayChan, stop func()) {
+	bt = core.NewBidTable(0)
+	pcs = make([]*core.PayChan, pop)
+	for i := 0; i < pop; i++ {
+		id := core.RequestID(i + 1)
+		pcs[i] = bt.Channel(id, 0)
+		pcs[i].Credit(int64(i), 0)
+		bt.MarkEligible(id, 0)
+	}
+	var halt atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		rng := uint64(w)*2654435761 + 1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			now := time.Duration(0)
+			for i := 0; !halt.Load(); i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				now += time.Microsecond
+				pcs[rng%uint64(pop)].Credit(16384, now)
+				if i%256 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	return bt, pcs, func() { halt.Store(true); wg.Wait() }
+}
+
+// measureWinnerFlood times winner selection over the flood table.
+// indexed=false runs WinnerByScan, the pre-PR 5 selection path kept as
+// the baseline reference.
+func measureWinnerFlood(pop int, indexed bool) metricsJSON {
+	r := testing.Benchmark(func(b *testing.B) {
+		bt, pcs, stop := floodBidTable(pop)
+		defer stop()
+		now := time.Duration(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Credit a channel per iteration so every auction observes
+		// fresh payment — the indexed path pays for a real drain and
+		// tournament update on every call, never a cached root.
+		for i := 0; i < b.N; i++ {
+			now += time.Microsecond
+			pcs[i%pop].Credit(16384, now)
+			if indexed {
+				bt.Winner()
+			} else {
+				bt.WinnerByScan()
+			}
+		}
+		b.StopTimer()
+	})
+	name, note := "winner_indexed", "dirty-stack drain + per-shard heap + shard tournament"
+	if !indexed {
+		name, note = "winner_scan", "pre-PR5 full scan over every channel (WinnerByScan)"
+	}
+	return metricsJSON{
+		Name: name, NsPerOp: r.NsPerOp(),
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		Note: fmt.Sprintf("%s; %d eligible channels, %d concurrent payers",
+			note, pop, runtime.GOMAXPROCS(0)),
+	}
+}
+
+// measureSweepFlood times one timeout-sweep tick (nothing due) over a
+// pop-channel table: the indexed path walks only due wheel slots and
+// the orphan prefix; the scan path is the pre-PR 5 full-table walk.
+func measureSweepFlood(pop int, indexed bool) metricsJSON {
+	bt := core.NewBidTable(0)
+	bt.SetInactivityTimeout(time.Hour)
+	// lastPay sits ~146 years out so no channel ever comes due no
+	// matter how far b.N advances the clock; the indexed wheel still
+	// pays its honest lazy re-check churn on horizon wraps, and the
+	// scan keeps walking the full (never-shrinking) population.
+	const farFuture = time.Duration(1 << 62)
+	for i := 0; i < pop; i++ {
+		id := core.RequestID(i + 1)
+		bt.Credit(id, int64(i), 0)
+		bt.MarkEligible(id, 0)
+		bt.Credit(id, 0, farFuture)
+	}
+	buf := make([]core.RequestID, 0, 64)
+	now := time.Duration(0)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			now += time.Second
+			if indexed {
+				buf = bt.DueOrphans(buf[:0], now-10*time.Second)
+				buf = bt.DueInactive(buf, now, now-time.Hour)
+			} else {
+				buf = bt.Orphans(buf[:0], now-10*time.Second)
+				buf = bt.Inactive(buf, now-time.Hour)
+			}
+		}
+	})
+	name, note := "sweep_tick_indexed", "orphan-prefix pop + timing-wheel advance, due channels only"
+	if !indexed {
+		name, note = "sweep_tick_scan", "pre-PR5 full-table Orphans+Inactive scan per tick"
+	}
+	return metricsJSON{
+		Name: name, NsPerOp: r.NsPerOp(),
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		Note: fmt.Sprintf("%s; %d eligible channels", note, pop),
+	}
+}
+
 // ---- PR 2: simulator measurements (kept for trajectory re-runs) ----
 
 // sweepGrid mirrors sweepBenchGrid in bench_test.go: the §7.4 capacity
@@ -413,23 +550,29 @@ func measureEventLoop() metricsJSON {
 }
 
 func main() {
-	pr := flag.Int("pr", 3, "which PR's benchmark set to run (2, 3, or 4)")
+	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, or 5)")
 	out := flag.String("out", "", "output file (default BENCH_PR<n>.json)")
 	streams := flag.Int("streams", 32, "concurrent payment streams for the ingest window")
 	window := flag.Duration("window", 8*time.Second, "ingest measurement window")
 	dur := flag.Duration("dur", 10*time.Second, "virtual duration per adversary-sweep cell (-pr 4)")
+	flood := flag.Int("flood", 65536, "eligible channels for the flood winner benchmark (-pr 5)")
 	flag.Parse()
+	if *flood <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -flood must be positive (got %d)\n", *flood)
+		os.Exit(2)
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_PR%d.json", *pr)
 	}
 
 	f := fileJSON{
-		PR:        *pr,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		PR:         *pr,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
 	switch *pr {
@@ -461,16 +604,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: measuring adversary_sweep_serial (%s/cell) ...\n", *dur)
 		serial := measureAdversarySweep(*dur, 1)
 		fmt.Fprintf(os.Stderr, "  %.0f events/sec serial\n", serial.EventsPerSec)
-		fmt.Fprintf(os.Stderr, "benchjson: measuring adversary_sweep_parallel ...\n")
-		par := measureAdversarySweep(*dur, 0)
-		fmt.Fprintf(os.Stderr, "  %.0f events/sec across %d workers\n", par.EventsPerSec, runtime.GOMAXPROCS(0))
-		f.Current = []metricsJSON{serial, par}
+		f.Current = []metricsJSON{serial}
+		// A "parallel" row on a host with one CPU would measure the
+		// same serial computation plus scheduler overhead and read as
+		// a regression ("same grid across 1 workers"), so omit it.
+		if runtime.NumCPU() > 1 && runtime.GOMAXPROCS(0) > 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: measuring adversary_sweep_parallel ...\n")
+			par := measureAdversarySweep(*dur, 0)
+			fmt.Fprintf(os.Stderr, "  %.0f events/sec across %d workers\n", par.EventsPerSec, runtime.GOMAXPROCS(0))
+			f.Current = append(f.Current, par)
+		} else {
+			fmt.Fprintln(os.Stderr, "benchjson: single-CPU host; omitting the parallel sweep row")
+		}
 		// The trajectory baseline: the PR 2 engine's serial events/sec
 		// on its figure sweep. The adversary grid is a different (new)
 		// workload, so the ratio tracks engine throughput continuity,
 		// not a like-for-like speedup.
 		f.Baseline = pr2Baseline
 		f.Speedup = serial.EventsPerSec / pr2Baseline.EventsPerSec
+	case 5:
+		fmt.Fprintf(os.Stderr, "benchjson: measuring winner_scan under flood (%d channels) ...\n", *flood)
+		scan := measureWinnerFlood(*flood, false)
+		fmt.Fprintf(os.Stderr, "  %d ns/op\n", scan.NsPerOp)
+		fmt.Fprintf(os.Stderr, "benchjson: measuring winner_indexed under the same flood ...\n")
+		indexed := measureWinnerFlood(*flood, true)
+		fmt.Fprintf(os.Stderr, "  %d ns/op (%d allocs)\n", indexed.NsPerOp, indexed.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "benchjson: measuring sweep tick, indexed vs scan ...\n")
+		sweepIdx := measureSweepFlood(*flood, true)
+		sweepScan := measureSweepFlood(*flood, false)
+		fmt.Fprintf(os.Stderr, "  indexed %d ns/tick   scan %d ns/tick\n", sweepIdx.NsPerOp, sweepScan.NsPerOp)
+		f.Baseline = scan
+		f.Current = []metricsJSON{indexed, sweepIdx, sweepScan}
+		f.Speedup = float64(scan.NsPerOp) / float64(indexed.NsPerOp)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -pr %d\n", *pr)
 		os.Exit(2)

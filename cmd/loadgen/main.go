@@ -49,6 +49,8 @@ type classJSON struct {
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
 	LatencyP90Ms  float64 `json:"latency_p90_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyP999Ms float64 `json:"latency_p999_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
 	// Per-class rates so one attack profile's admission/ingest numbers
 	// can be compared across runs without re-deriving them.
@@ -94,6 +96,8 @@ func classSummary(cs []*loadgen.Client, elapsed time.Duration) classJSON {
 		out.LatencyP50Ms = max(out.LatencyP50Ms, ms(c.Stats.Latency.Quantile(0.50)))
 		out.LatencyP90Ms = max(out.LatencyP90Ms, ms(c.Stats.Latency.Quantile(0.90)))
 		out.LatencyP99Ms = max(out.LatencyP99Ms, ms(c.Stats.Latency.Quantile(0.99)))
+		out.LatencyP999Ms = max(out.LatencyP999Ms, ms(c.Stats.Latency.Quantile(0.999)))
+		out.LatencyMaxMs = max(out.LatencyMaxMs, ms(c.Stats.Latency.Max()))
 		out.LatencyMeanMs = max(out.LatencyMeanMs, ms(c.Stats.Latency.Mean()))
 	}
 	if out.Issued > 0 {
@@ -213,7 +217,9 @@ func main() {
 	}
 	fmt.Printf("throughput: %.1f admissions/sec, payment ingest %.1f Mbit/s\n",
 		sum.AdmissionsPerSec, sum.PaymentBitsPerSec/1e6)
-	fmt.Printf("latency (ms): good p50=%.0f p90=%.0f p99=%.0f   bad p50=%.0f p90=%.0f p99=%.0f\n",
+	fmt.Printf("latency (ms): good p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f   bad p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f\n",
 		sum.Good.LatencyP50Ms, sum.Good.LatencyP90Ms, sum.Good.LatencyP99Ms,
-		sum.Bad.LatencyP50Ms, sum.Bad.LatencyP90Ms, sum.Bad.LatencyP99Ms)
+		sum.Good.LatencyP999Ms, sum.Good.LatencyMaxMs,
+		sum.Bad.LatencyP50Ms, sum.Bad.LatencyP90Ms, sum.Bad.LatencyP99Ms,
+		sum.Bad.LatencyP999Ms, sum.Bad.LatencyMaxMs)
 }

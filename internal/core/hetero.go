@@ -203,24 +203,10 @@ func (h *HeteroThinner) topContender() (RequestID, int64, bool) {
 		return 0, 0, false
 	}
 	if h.hasActive && id == h.active {
-		// The active request tops the heap; the runner-up (if any) is
-		// found by temporarily charging nothing — simply scan. The heap
-		// has no cheap second-max, and contender counts are small.
-		var best RequestID
-		var bestPaid int64 = -1
-		for cid := range h.ledger.entries {
-			e := h.ledger.entries[cid]
-			if !e.eligible || cid == h.active {
-				continue
-			}
-			if e.paid > bestPaid || (e.paid == bestPaid && cid < best) {
-				best, bestPaid = cid, e.paid
-			}
-		}
-		if bestPaid < 0 {
-			return 0, 0, false
-		}
-		return best, bestPaid, true
+		// The active request tops the heap; the runner-up is one of
+		// the root's children, which the ledger answers in O(1) — no
+		// scan over the contender population.
+		return h.ledger.RunnerUp()
 	}
 	return id, paid, ok
 }

@@ -149,6 +149,25 @@ func (l *Ledger) Winner() (id RequestID, paid int64, ok bool) {
 	return top.id, top.paid, true
 }
 
+// RunnerUp returns the second-ranked eligible entry under the auction
+// total order (paid desc, id asc). In a binary max-heap the second
+// maximum is always one of the root's children, so this is O(1) — the
+// §5 quantum scheduler uses it every tick when the active request
+// tops the heap, instead of scanning the whole ledger.
+func (l *Ledger) RunnerUp() (id RequestID, paid int64, ok bool) {
+	switch len(l.heap) {
+	case 0, 1:
+		return 0, 0, false
+	case 2:
+		return l.heap[1].id, l.heap[1].paid, true
+	}
+	best := l.heap[1]
+	if l.heap.Less(2, 1) {
+		best = l.heap[2]
+	}
+	return best.id, best.paid, true
+}
+
 // Charge zeroes id's balance without removing it (the §5 quantum
 // scheduler charges the winner one quantum and keeps it contending).
 // It returns the amount charged.

@@ -248,3 +248,53 @@ func TestQuickLedgerHeapConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLedgerRunnerUp cross-checks the O(1) second-best (one of the
+// heap root's children) against a brute-force scan over a randomized
+// op mix — the §5 scheduler admits by it every quantum.
+func TestLedgerRunnerUp(t *testing.T) {
+	l := NewLedger()
+	rng := uint64(777)
+	next := func(n uint64) uint64 { // xorshift
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	bruteSecond := func() (RequestID, int64, bool) {
+		wi, _, wok := l.Winner()
+		if !wok {
+			return 0, 0, false
+		}
+		var id RequestID
+		var paid int64
+		ok := false
+		for cid, e := range l.entries {
+			if !e.eligible || cid == wi {
+				continue
+			}
+			if !ok || e.paid > paid || (e.paid == paid && cid < id) {
+				id, paid, ok = cid, e.paid, true
+			}
+		}
+		return id, paid, ok
+	}
+	for step := 0; step < 5000; step++ {
+		id := RequestID(next(30))
+		switch next(5) {
+		case 0, 1:
+			l.Credit(id, int64(next(500)), 0)
+		case 2:
+			l.MarkEligible(id, 0)
+		case 3:
+			l.Remove(id)
+		case 4:
+			gi, gp, gok := l.RunnerUp()
+			wi, wp, wok := bruteSecond()
+			if gi != wi || gp != wp || gok != wok {
+				t.Fatalf("step %d: RunnerUp %d/%d/%v, brute force %d/%d/%v",
+					step, gi, gp, gok, wi, wp, wok)
+			}
+		}
+	}
+}

@@ -73,6 +73,7 @@ type Thinner struct {
 	goingRate int64 // winning bid of the most recent auction
 
 	stopSweep func()
+	sweepIDs  []RequestID // reused eviction buffer; sweep is single-goroutine
 
 	// Admit delivers a request to the server; paid is the winning bid
 	// in bytes (0 when the server was free — no auction needed).
@@ -91,6 +92,9 @@ type Thinner struct {
 func NewThinner(clock Clock, cfg Config) *Thinner {
 	cfg = cfg.withDefaults()
 	t := &Thinner{clock: clock, cfg: cfg, table: NewBidTable(cfg.Shards)}
+	// Align the table's inactivity wheel with the sweep's cutoff so
+	// deadline checks fire exactly when channels come due.
+	t.table.SetInactivityTimeout(cfg.InactivityTimeout)
 	t.scheduleSweep()
 	return t
 }
@@ -181,16 +185,20 @@ func (t *Thinner) scheduleSweep() {
 }
 
 // sweep evicts orphaned payment channels and inactive contenders. The
-// table scans shard maps, so each class is sorted by id to keep
-// eviction order — and everything the Evict callbacks schedule —
-// deterministic across runs.
+// table's expiry indexes (creation-ordered orphan lists, inactivity
+// timing wheel) surface only the channels actually due, so a tick
+// costs O(due), not O(table). The shard collection order is
+// arbitrary, so each class is sorted by id to keep eviction order —
+// and everything the Evict callbacks schedule — deterministic across
+// runs. The id buffer is reused tick to tick: steady-state sweeps
+// allocate nothing.
 func (t *Thinner) sweep() {
 	now := t.clock.Now()
-	var ids []RequestID
-	ids = t.table.Orphans(ids, now-t.cfg.OrphanTimeout)
+	ids := t.sweepIDs[:0]
+	ids = t.table.DueOrphans(ids, now-t.cfg.OrphanTimeout)
 	n := len(ids)
 	slices.Sort(ids[:n])
-	ids = t.table.Inactive(ids, now-t.cfg.InactivityTimeout)
+	ids = t.table.DueInactive(ids, now, now-t.cfg.InactivityTimeout)
 	slices.Sort(ids[n:])
 	for _, id := range ids {
 		paid := t.table.Remove(id, ChanEvicted)
@@ -200,4 +208,5 @@ func (t *Thinner) sweep() {
 			t.Evict(id, paid, true)
 		}
 	}
+	t.sweepIDs = ids[:0]
 }

@@ -22,6 +22,7 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Int64 // ns
+	maxNs   atomic.Int64 // exact worst sample
 }
 
 func histIndex(d time.Duration) int {
@@ -43,7 +44,18 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[histIndex(d)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+	for {
+		cur := h.maxNs.Load()
+		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
 }
+
+// Max returns the exact worst sample observed, or 0 with no samples —
+// the tail beyond any bucketed quantile, which is what flood-mode
+// admission-latency regressions show up in first.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count.Load() }

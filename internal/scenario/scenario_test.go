@@ -7,6 +7,7 @@ import (
 
 	"speakup/internal/adversary"
 	"speakup/internal/appsim"
+	"speakup/internal/core"
 )
 
 // mix builds the standard 2 Mbit/s-per-client mix with ng good and nb
@@ -345,5 +346,42 @@ func TestOnOffPulsesInScenario(t *testing.T) {
 	// overflow (arrivals above the burst window).
 	if atk.Generated < 100 {
 		t.Fatalf("onoff generated only %d arrivals", atk.Generated)
+	}
+}
+
+// TestShardCountInvariance pins the PR 5 index contract the goldens
+// rest on: auction winners and timeout evictions are computed from the
+// bid table's incremental indexes (per-shard price heaps + tournament,
+// orphan lists + inactivity wheel), and none of that may depend on how
+// channels are sharded. A defector-heavy mix forces the eviction
+// machinery to fire, and every statistic must be identical across
+// shard counts.
+func TestShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation; skipped in -short")
+	}
+	run := func(shards int) *Result {
+		return Run(Config{
+			Seed: 11, Duration: 90 * time.Second, Capacity: 10,
+			Mode: appsim.ModeAuction,
+			Groups: []ClientGroup{
+				{Count: 3, Good: true},
+				{Count: 3, Good: false, Strategy: "defector", Aggressiveness: 1},
+				{Count: 2, Good: false, Strategy: "flood", Aggressiveness: 1},
+			},
+			Thinner: core.Config{Shards: shards},
+		})
+	}
+	base := run(1)
+	if base.ThinnerStats.Evicted == 0 {
+		t.Fatal("mix produced no evictions; the invariance check is vacuous")
+	}
+	for _, shards := range []int{8, 64} {
+		got := run(shards)
+		if got.ServedGood != base.ServedGood || got.ServedBad != base.ServedBad ||
+			got.Events != base.Events || got.ThinnerStats != base.ThinnerStats {
+			t.Fatalf("shards=%d diverged from shards=1:\n  %+v vs\n  %+v (events %d vs %d)",
+				shards, got.ThinnerStats, base.ThinnerStats, got.Events, base.Events)
+		}
 	}
 }

@@ -359,3 +359,137 @@ func TestFrontAdversarialStress(t *testing.T) {
 		t.Fatalf("%d waiters leaked", n)
 	}
 }
+
+// TestFrontEvictionStorm is the PR 5 sweep-index stress: thousands of
+// payment channels hit the timeout machinery at once — orphans (paid,
+// never sent the request) through the creation-ordered orphan lists,
+// and camping contenders (requested, never paid) through the
+// inactivity timing wheel — under -race. Every channel must be
+// evicted, every waiter released with 503, and the table must drain
+// completely; the eviction stats must cover the whole storm.
+func TestFrontEvictionStorm(t *testing.T) {
+	orphans, campers := 400, 200
+	if testing.Short() {
+		orphans, campers = 150, 75
+	}
+
+	block := make(chan struct{})
+	origin := OriginFunc(func(id core.RequestID) ([]byte, error) {
+		<-block // keep the origin busy so campers stay contenders
+		return []byte("ok"), nil
+	})
+	front := NewFront(origin, Config{
+		PayPollInterval: 5 * time.Millisecond,
+		RequestTimeout:  30 * time.Second,
+		Thinner: core.Config{
+			OrphanTimeout:     150 * time.Millisecond,
+			InactivityTimeout: 400 * time.Millisecond,
+			SweepInterval:     20 * time.Millisecond,
+			Shards:            8,
+		},
+	})
+	srv := httptest.NewServer(front)
+	defer front.Close()
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	go http.Get(srv.URL + "/request?id=1") // occupy the origin
+	time.Sleep(30 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	var evictedPays, evictedWaits atomic.Uint64
+	// Orphan payers: each streams an open-ended POST /pay and never
+	// sends the request message. The sweep must time the channel out
+	// via the creation-ordered orphan list, and the front must cut the
+	// in-flight POST short with an "evicted" verdict (state-word
+	// settle observed mid-stream).
+	for i := 0; i < orphans; i++ {
+		id := 10_000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr, pw := io.Pipe()
+			req, _ := http.NewRequest(http.MethodPost,
+				fmt.Sprintf("%s/pay?id=%d", srv.URL, id), pr)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				resp, err := client.Do(req)
+				if err != nil {
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if strings.Contains(string(raw), "evicted") {
+					evictedPays.Add(1)
+				}
+			}()
+			chunk := []byte(strings.Repeat("x", 2048))
+			for {
+				select {
+				case <-done:
+					pw.Close()
+					return
+				default:
+				}
+				if _, err := pw.Write(chunk); err != nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			pw.Close()
+			<-done
+		}()
+	}
+	// Campers: eligible contenders that never pay a byte. The wheel
+	// must evict them and their held requests must get 503.
+	for i := 0; i < campers; i++ {
+		id := 50_000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, err := tryGet(fmt.Sprintf("%s/request?id=%d&wait=1", srv.URL, id))
+			if err == nil && code == http.StatusServiceUnavailable {
+				evictedWaits.Add(1)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("eviction storm wedged: clients did not terminate")
+	}
+
+	st := front.Snapshot()
+	t.Logf("storm: evicted pays=%d waits=%d open=%d thinner=%+v",
+		evictedPays.Load(), evictedWaits.Load(), st.OpenChannels, st.ThinnerTotals)
+	if got := evictedWaits.Load(); got != uint64(campers) {
+		t.Fatalf("%d/%d camping waiters got 503", got, campers)
+	}
+	if st.ThinnerTotals.Evicted < uint64(orphans+campers) {
+		t.Fatalf("thinner evicted %d, want >= %d (every orphan and camper)",
+			st.ThinnerTotals.Evicted, orphans+campers)
+	}
+	// A healthy share of the in-flight POSTs must have learned their
+	// verdict from the state word. The margin is loose: when the front
+	// expires the read deadline to cut a stream short, the connection
+	// is aborted, and under -race on a loaded host many clients lose
+	// the reply to that teardown — the authoritative check is the
+	// exact server-side eviction count above.
+	if got := evictedPays.Load(); got < uint64(orphans/10) {
+		t.Fatalf("only %d/%d orphan streams saw an evicted verdict", got, orphans)
+	}
+	// The held origin request (id=1) is still in flight; everything
+	// else must drain once the timeouts lapse.
+	deadline := time.Now().Add(10 * time.Second)
+	for front.Table().Size() > 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := front.Table().Size(); n > 0 {
+		t.Fatalf("%d payment channels survived the storm past all timeouts", n)
+	}
+	close(block)
+}

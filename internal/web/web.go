@@ -376,12 +376,17 @@ func stateString(st core.ChanState) string {
 
 // Stats is the JSON shape of /stats.
 type Stats struct {
-	Uptime        string     `json:"uptime"`
-	Served        uint64     `json:"served"`
-	PaymentBytes  int64      `json:"payment_bytes"`
-	PaymentMbps   float64    `json:"payment_mbps"`
-	GoingRate     int64      `json:"going_rate_bytes"`
-	Contenders    int        `json:"contenders"`
+	Uptime       string  `json:"uptime"`
+	Served       uint64  `json:"served"`
+	PaymentBytes int64   `json:"payment_bytes"`
+	PaymentMbps  float64 `json:"payment_mbps"`
+	GoingRate    int64   `json:"going_rate_bytes"`
+	Contenders   int     `json:"contenders"`
+	// OpenChannels counts every open payment channel including
+	// orphans (paid, request not yet arrived) — under flood this is
+	// the population the PR 5 indexes keep auction and sweep cost
+	// independent of.
+	OpenChannels  int        `json:"open_channels"`
 	Shards        int        `json:"shards"`
 	ThinnerTotals core.Stats `json:"thinner"`
 }
@@ -403,6 +408,7 @@ func (f *Front) Snapshot() Stats {
 		PaymentMbps:   float64(pay) * 8 / up.Seconds() / 1e6,
 		GoingRate:     going,
 		Contenders:    f.table.Eligible(),
+		OpenChannels:  f.table.Size(),
 		Shards:        f.table.Shards(),
 		ThinnerTotals: totals,
 	}
