@@ -7,7 +7,7 @@
 //
 //	loadgen [-url http://localhost:8080] [-good 3] [-bad 3]
 //	        [-bw 2e6] [-post 1048576] [-duration 30s] [-json]
-//	        [-attack <profile>] [-aggro 1.5]
+//	        [-attack <profile>] [-aggro 1.5] [-scenario <file>]
 //
 // With -attack, the bad clients run the named adversary strategy
 // (onoff, mimic, defector, flood, adaptive, poisson — the same
@@ -16,12 +16,22 @@
 // coordinated strategies coordinate for real. -attack list prints the
 // registry and exits.
 //
+// With -scenario, the client workload comes from a declarative
+// scenario file (the internal/config schema shared with cmd/repro and
+// cmd/thinnerd; a disk path, or an embedded configs/ name): good
+// groups set the good class's count, rate, window, and bandwidth; the
+// first bad group sets the bad class's — including its adversary
+// strategy — and sizes.post sets the payment POST size. Explicit
+// flags override the file.
+//
 // Per-second progress goes to stderr. The final summary — per-class
 // service rates, admissions/sec, payment-ingest bits/sec, and latency
 // percentiles — prints human-readable to stdout, or as one JSON
-// object with -json (the shape cmd/benchjson and dashboards consume);
-// with -attack the summary carries the profile name and the bad class
-// reports that strategy's admission and ingest rates.
+// object with -json (the shape cmd/benchjson and dashboards consume).
+// The JSON carries the attack profile and a config_hash: the short
+// canonical hash of the resolved workload (scenario file or synthetic
+// flag-built document), so results are attributable to one exact
+// configuration.
 package main
 
 import (
@@ -33,7 +43,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speakup/configs"
 	"speakup/internal/adversary"
+	"speakup/internal/config"
 	"speakup/internal/loadgen"
 )
 
@@ -61,6 +73,11 @@ type classJSON struct {
 // summaryJSON is the -json output shape.
 type summaryJSON struct {
 	URL string `json:"url"`
+	// Scenario names the file the workload came from ("" = built from
+	// flags); ConfigHash is the short canonical hash of the resolved
+	// workload document, the identity telemetry and BENCH entries use.
+	Scenario   string `json:"scenario,omitempty"`
+	ConfigHash string `json:"config_hash"`
 	// Attack names the adversary profile the bad clients ran ("" =
 	// the default fixed Poisson flood); Aggressiveness is its scale.
 	Attack            string    `json:"attack,omitempty"`
@@ -122,6 +139,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the final summary as JSON on stdout")
 	attack := flag.String("attack", "", "adversary profile for the bad clients (see -attack list)")
 	aggro := flag.Float64("aggro", 1, "attack aggressiveness scale (with -attack)")
+	scenarioFile := flag.String("scenario", "", "scenario file supplying the client workload (disk path or embedded configs/ name); explicit flags override")
 	flag.Parse()
 
 	if *attack == "list" {
@@ -130,35 +148,147 @@ func main() {
 		}
 		return
 	}
-	if *attack == "" && *aggro != 1 {
-		log.Fatalf("-aggro %g has no effect without -attack (the default bad clients are fixed Poisson λ=40, w=20)", *aggro)
+
+	// Resolved workload: flag defaults, overridden by a scenario file,
+	// overridden by explicitly-set flags.
+	nG, nB := *nGood, *nBad
+	goodLambda, goodWindow, goodBW := 2.0, 1, *bw
+	badLambda, badWindow, badBW := 40.0, 20, *bw
+	postBytes, dur := *post, *duration
+	atk, scale := *attack, *aggro
+	scenarioName := ""
+	if *scenarioFile != "" {
+		doc, err := config.Resolve(configs.FS, *scenarioFile)
+		if err != nil {
+			log.Fatalf("scenario: %v", err)
+		}
+		scenarioName = doc.Name
+		if scenarioName == "" {
+			scenarioName = *scenarioFile
+		}
+		nG, nB = 0, 0
+		var g, b *config.ClientGroup
+		for i := range doc.Groups {
+			grp := &doc.Groups[i]
+			if grp.Good {
+				nG += grp.Count
+				if g == nil {
+					g = grp
+				}
+			} else {
+				nB += grp.Count
+				if b == nil {
+					b = grp
+				}
+			}
+		}
+		if g != nil {
+			if g.Lambda != 0 {
+				goodLambda = g.Lambda
+			}
+			if g.Window != 0 {
+				goodWindow = g.Window
+			}
+			if g.Bandwidth != 0 {
+				goodBW = g.Bandwidth
+			}
+		}
+		if b != nil {
+			if b.Lambda != 0 {
+				badLambda = b.Lambda
+			}
+			if b.Window != 0 {
+				badWindow = b.Window
+			}
+			if b.Bandwidth != 0 {
+				badBW = b.Bandwidth
+			}
+			if b.Strategy != "" {
+				atk = b.Strategy
+				if b.Aggressiveness != 0 {
+					scale = b.Aggressiveness
+				}
+			}
+		}
+		if doc.Sizes != nil && doc.Sizes.Post != 0 {
+			postBytes = doc.Sizes.Post
+		}
+		if doc.Duration != 0 {
+			dur = doc.Duration.D()
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["good"] {
+			nG = *nGood
+		}
+		if explicit["bad"] {
+			nB = *nBad
+		}
+		if explicit["bw"] {
+			goodBW, badBW = *bw, *bw
+		}
+		if explicit["post"] {
+			postBytes = *post
+		}
+		if explicit["duration"] {
+			dur = *duration
+		}
+		if explicit["attack"] {
+			atk = *attack
+		}
+		if explicit["aggro"] {
+			scale = *aggro
+		}
+	}
+	if atk == "" && scale != 1 {
+		log.Fatalf("-aggro %g has no effect without an attack profile (the default bad clients are fixed Poisson λ=%g, w=%d)", scale, badLambda, badWindow)
 	}
 	var spec adversary.Spec
 	var cohort *adversary.Cohort
-	if *attack != "" {
-		spec = adversary.Spec{Name: *attack, Aggressiveness: *aggro}
+	if atk != "" {
+		spec = adversary.Spec{Name: atk, Aggressiveness: scale}
 		if err := spec.Validate(); err != nil {
 			log.Fatal(err)
 		}
-		cohort = adversary.NewCohort(spec, *nBad)
+		cohort = adversary.NewCohort(spec, nB)
 	}
+
+	// The run's identity: the canonical hash of the resolved workload as
+	// one scenario document. Built the same way whether the workload came
+	// from a file or from flags, so identical effective runs hash alike.
+	effective := config.Scenario{
+		Version:  config.Version,
+		Name:     scenarioName,
+		Duration: config.Duration(dur),
+		Mode:     "auction",
+		Groups: []config.ClientGroup{
+			{Name: "good", Count: nG, Good: true, Lambda: goodLambda, Window: goodWindow, Bandwidth: goodBW},
+			{Name: "bad", Count: nB, Lambda: badLambda, Window: badWindow, Bandwidth: badBW, Strategy: atk, Aggressiveness: scale},
+		},
+		Sizes: &config.Sizes{Post: postBytes},
+	}
+	if atk == "" {
+		effective.Groups[1].Strategy = ""
+		effective.Groups[1].Aggressiveness = 0
+	}
+	configHash := config.ShortHash(effective)
 
 	var ids atomic.Uint64
 	var good, bad []*loadgen.Client
-	for i := 0; i < *nGood; i++ {
+	for i := 0; i < nG; i++ {
 		c := loadgen.NewClient(loadgen.Config{
-			BaseURL: *url, Lambda: 2, Window: 1, Good: true,
-			UploadBits: *bw, PostBytes: *post, Seed: int64(i + 1),
+			BaseURL: *url, Lambda: goodLambda, Window: goodWindow, Good: true,
+			UploadBits: goodBW, PostBytes: postBytes, Seed: int64(i + 1),
 		}, &ids)
 		good = append(good, c)
 		c.Run()
 	}
-	for i := 0; i < *nBad; i++ {
+	for i := 0; i < nB; i++ {
 		cfg := loadgen.Config{
-			BaseURL: *url, Lambda: 40, Window: 20, Good: false,
-			UploadBits: *bw, PostBytes: *post, Seed: int64(1000 + i),
+			BaseURL: *url, Lambda: badLambda, Window: badWindow, Good: false,
+			UploadBits: badBW, PostBytes: postBytes, Seed: int64(1000 + i),
 		}
-		if *attack != "" {
+		if atk != "" {
 			cfg.Strategy = spec.New(cohort)
 		}
 		c := loadgen.NewClient(cfg, &ids)
@@ -166,14 +296,14 @@ func main() {
 		c.Run()
 	}
 	profile := "poisson flood (default)"
-	if *attack != "" {
-		profile = fmt.Sprintf("%s x%.2g", *attack, *aggro)
+	if atk != "" {
+		profile = fmt.Sprintf("%s x%.2g", atk, scale)
 	}
-	log.Printf("load: %d good + %d bad clients [%s] at %.1f Mbit/s each against %s",
-		*nGood, *nBad, profile, *bw/1e6, *url)
+	log.Printf("load: %d good + %d bad clients [%s] at %.1f/%.1f Mbit/s against %s (config %s)",
+		nG, nB, profile, goodBW/1e6, badBW/1e6, *url, configHash)
 
 	start := time.Now()
-	for time.Since(start) < *duration {
+	for time.Since(start) < dur {
 		time.Sleep(time.Second)
 		gi, gs, _ := tally(good)
 		bi, bs, _ := tally(bad)
@@ -187,13 +317,15 @@ func main() {
 
 	sum := summaryJSON{
 		URL:         *url,
-		Attack:      *attack,
+		Scenario:    scenarioName,
+		ConfigHash:  configHash,
+		Attack:      atk,
 		DurationSec: elapsed.Seconds(),
 		Good:        classSummary(good, elapsed),
 		Bad:         classSummary(bad, elapsed),
 	}
-	if *attack != "" {
-		sum.Aggressiveness = *aggro
+	if atk != "" {
+		sum.Aggressiveness = scale
 	}
 	served := sum.Good.Served + sum.Bad.Served
 	paid := sum.Good.PaidBytes + sum.Bad.PaidBytes

@@ -7,9 +7,17 @@
 //	repro                        # all experiments at 60s virtual time
 //	repro -duration 600s         # paper scale (600s runs; takes minutes)
 //	repro -experiment fig2,fig9  # a subset
+//	repro -scenario my.json      # run declared scenario files instead
+//	repro -scenario fig8,fig9    # embedded driver bases work by name
 //	repro -parallel 8            # 8 concurrent scenario runs per sweep
 //	repro -cpuprofile cpu.prof   # profile the hot path under real load
 //	repro -memprofile mem.prof   # heap profile at exit (after GC)
+//
+// -scenario takes comma-separated scenario files in the versioned
+// schema of internal/config (see configs/ for examples): paths are
+// tried on disk first, then against the embedded configs/ set (the
+// ".json" suffix is optional there). A file's own seed and duration
+// win; explicit -seed/-duration flags override both.
 //
 // Each experiment's figure sweep fans out across -parallel workers
 // (default GOMAXPROCS) via internal/sweep; results are bit-for-bit
@@ -30,6 +38,8 @@ import (
 	"strings"
 	"time"
 
+	"speakup/configs"
+	"speakup/internal/config"
 	"speakup/internal/exp"
 	"speakup/internal/sweep"
 )
@@ -40,6 +50,7 @@ func run() int {
 	duration := flag.Duration("duration", 60*time.Second, "virtual time per run (paper: 600s)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	which := flag.String("experiment", "all", "comma-separated experiment list (or 'all')")
+	scenarios := flag.String("scenario", "", "comma-separated scenario files (disk paths or embedded configs/ names); replaces -experiment")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent scenario runs per sweep")
 	progress := flag.Bool("progress", true, "print per-run progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -81,6 +92,37 @@ func run() int {
 				done, total, r.Name, r.Elapsed.Seconds(), r.Result.Events)
 		}
 	}
+	if *scenarios != "" {
+		// Explicit flags beat a file's own seed/duration; otherwise the
+		// file wins and zero file fields fall back to the flag defaults.
+		explicit := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+		var docs []config.Scenario
+		for _, name := range strings.Split(*scenarios, ",") {
+			doc, err := config.Resolve(configs.FS, strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+				return 2
+			}
+			if explicit["duration"] {
+				doc.Duration = config.Duration(*duration)
+			}
+			if explicit["seed"] {
+				doc.Seed = *seed
+			}
+			docs = append(docs, doc)
+		}
+		res, err := exp.Scenarios(o, docs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			return 2
+		}
+		for _, t := range res.Tables() {
+			fmt.Println(t)
+		}
+		return 0
+	}
+
 	sel := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
 		sel[strings.TrimSpace(w)] = true

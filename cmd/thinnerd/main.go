@@ -5,15 +5,26 @@
 // Usage:
 //
 //	thinnerd [-addr :8080] [-capacity 10] [-orphan 10s]
-//	         [-shards 0] [-drain 15s] [-pprof localhost:6060]
+//	         [-scenario live_default] [-shards 0] [-drain 15s]
+//	         [-pprof localhost:6060]
+//
+// -scenario loads capacity and the thinner knobs from a declarative
+// scenario file (the internal/config schema shared with cmd/repro and
+// the simulator; a disk path, or an embedded configs/ name). The file
+// must declare mode "auction" — that is the only policy the live
+// front serves. Explicit flags override the file's values.
 //
 // Endpoints: /request?id=N (the request; 402 + Speakup-Action: pay
 // when the origin is busy), /pay?id=N (payment channel: stream dummy
-// POST bodies), /stats (JSON counters). Drive it with cmd/loadgen or
-// curl:
+// POST bodies), /stats (JSON counters), /telemetry (NDJSON metrics
+// stream, ?interval=1s), /control/config (GET the live thinner
+// config; POST a partial config to reconfigure safely under load —
+// shard changes are rejected). Drive it with cmd/loadgen or curl:
 //
 //	curl 'http://localhost:8080/request?id=1'
 //	curl -X POST --data-binary @bigfile 'http://localhost:8080/pay?id=2'
+//	curl 'http://localhost:8080/telemetry?interval=500ms'
+//	curl -X POST -d '{"sweep_interval":"200ms"}' 'http://localhost:8080/control/config'
 //
 // Payment ingest is sharded (-shards, rounded up to a power of two,
 // default GOMAXPROCS-scaled): every /pay stream credits its channel's
@@ -34,6 +45,8 @@ import (
 	"time"
 
 	"speakup"
+	"speakup/configs"
+	"speakup/internal/config"
 	"speakup/internal/core"
 )
 
@@ -41,15 +54,57 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	capacity := flag.Float64("capacity", 10, "origin capacity in requests/second")
 	orphan := flag.Duration("orphan", 10*time.Second, "evict request-less payment channels after this long")
+	scenarioFile := flag.String("scenario", "", "scenario file supplying capacity and thinner knobs (disk path or embedded configs/ name); explicit flags override")
 	shards := flag.Int("shards", 0, "bid-table shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060)")
 	flag.Parse()
 
-	origin := speakup.NewEmulatedOrigin(*capacity)
-	front := speakup.NewFront(origin, speakup.FrontConfig{
-		Thinner: core.Config{OrphanTimeout: *orphan, Shards: *shards},
-	})
+	capRPS := *capacity
+	thcfg := core.Config{OrphanTimeout: *orphan, Shards: *shards}
+	if *scenarioFile != "" {
+		doc, err := config.Resolve(configs.FS, *scenarioFile)
+		if err != nil {
+			log.Fatalf("scenario: %v", err)
+		}
+		if doc.Mode != "auction" {
+			log.Fatalf("scenario %s: mode %q cannot drive the live thinner (only \"auction\" is served over HTTP)", *scenarioFile, doc.Mode)
+		}
+		capRPS = doc.Capacity
+		if doc.Thinner != nil {
+			// Zero file fields keep the flag defaults, same as
+			// /control/config's "zero means unchanged".
+			fc := doc.Thinner.Core()
+			if fc.OrphanTimeout != 0 {
+				thcfg.OrphanTimeout = fc.OrphanTimeout
+			}
+			if fc.InactivityTimeout != 0 {
+				thcfg.InactivityTimeout = fc.InactivityTimeout
+			}
+			if fc.SweepInterval != 0 {
+				thcfg.SweepInterval = fc.SweepInterval
+			}
+			if fc.Shards != 0 {
+				thcfg.Shards = fc.Shards
+			}
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["capacity"] {
+			capRPS = *capacity
+		}
+		if explicit["orphan"] {
+			thcfg.OrphanTimeout = *orphan
+		}
+		if explicit["shards"] {
+			thcfg.Shards = *shards
+		}
+		log.Printf("scenario %s (config %s): capacity %.1f req/s, thinner %+v",
+			*scenarioFile, config.ShortHash(doc), capRPS, thcfg)
+	}
+
+	origin := speakup.NewEmulatedOrigin(capRPS)
+	front := speakup.NewFront(origin, speakup.FrontConfig{Thinner: thcfg})
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -76,8 +131,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s, %d ingest shards)",
-		*addr, *capacity, front.Table().Shards())
-	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats")
+		*addr, capRPS, front.Table().Shards())
+	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /telemetry  /control/config")
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,22 @@
+// Package configs ships the versioned scenario files (schema:
+// internal/config) that declare every deployment this repository
+// runs. The figure drivers in internal/exp load their base scenarios
+// from here and apply only their grid's axis overrides (counts,
+// capacities, modes); cmd/repro -scenario, cmd/thinnerd -scenario,
+// and cmd/loadgen -scenario accept any of these files — or any
+// user-written file in the same schema — so a new workload is a
+// config diff, not a code change.
+//
+// Every file must decode strictly, validate, and re-encode
+// byte-stably; internal/config's round-trip test enforces that, and
+// internal/exp's base-equivalence test pins each driver base against
+// the Go literal it replaced (regenerate with
+// `go test ./internal/exp -run TestDriverBases -update-configs`).
+package configs
+
+import "embed"
+
+// FS holds every shipped scenario file.
+//
+//go:embed *.json
+var FS embed.FS

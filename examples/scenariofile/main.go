@@ -1,0 +1,57 @@
+// Scenario as config: run a declarative scenario file through the
+// simulator.
+//
+// Every workload in this repo — the figure sweeps, cmd/repro runs, and
+// the live thinnerd/loadgen pair — is declared in one versioned JSON
+// schema (files under configs/). This example loads one document (the
+// first argument: a disk path, or an embedded configs/ name; default
+// "example"), prints its identity hash, runs it, and reports the
+// per-group allocation. Copy configs/example.json, edit the groups,
+// and point this (or `cmd/repro -scenario`) at your file: a new
+// workload is a config diff, not a code change.
+//
+// Run with: go run ./examples/scenariofile [file]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"speakup"
+)
+
+func main() {
+	name := "example"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	doc, err := speakup.LoadScenarioFile(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := doc.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Files may leave seed and duration unset (the figure bases do, so
+	// one file serves every -duration); pick run values here.
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 20 * time.Second
+	}
+
+	fmt.Printf("scenario %q (config %s): capacity %.0f req/s, %d groups, %v of virtual time\n",
+		doc.Name, speakup.ScenarioFileHash(doc), cfg.Capacity, len(cfg.Groups), cfg.Duration)
+	res := speakup.Simulate(cfg)
+	for i := range res.Groups {
+		g := &res.Groups[i]
+		fmt.Printf("  %-12s %3d clients  served %4d/%4d (%.2f of offered)\n",
+			g.Name, g.Clients, g.Served, g.Offered(), g.FractionServed())
+	}
+	fmt.Printf("good allocation %.2f, fraction of good demand served %.2f\n",
+		res.GoodAllocation, res.FractionGoodServed)
+}

@@ -1,0 +1,183 @@
+package config_test
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"speakup/configs"
+	"speakup/internal/config"
+)
+
+// TestShippedConfigsRoundTrip is the schema's property test over every
+// shipped scenario file: each configs/*.json must decode strictly,
+// re-encode byte-identically (the files are canonical), validate, and
+// survive the document -> scenario.Config -> document round trip
+// losslessly. Together with the figure goldens (which now run from
+// these files) this pins that the config layer cannot drift the
+// simulations.
+func TestShippedConfigsRoundTrip(t *testing.T) {
+	names, err := fs.Glob(configs.FS, "*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 14 {
+		t.Fatalf("only %d embedded scenario files; the driver bases alone are 14", len(names))
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			raw, err := fs.ReadFile(configs.FS, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := config.Decode(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("strict decode: %v", err)
+			}
+			if got := config.Encode(doc); !bytes.Equal(got, raw) {
+				t.Errorf("file is not canonical: re-encoding differs\n--- on disk ---\n%s--- re-encoded ---\n%s", raw, got)
+			}
+			if err := doc.Validate(); err != nil {
+				t.Errorf("validate: %v", err)
+			}
+			sc, err := doc.Config()
+			if err != nil {
+				t.Fatalf("to scenario.Config: %v", err)
+			}
+			back := config.FromScenario(sc)
+			back.Name, back.Notes = doc.Name, doc.Notes
+			if !reflect.DeepEqual(back, doc) {
+				t.Errorf("lossy round trip:\ndecoded: %+v\nre-derived: %+v", doc, back)
+			}
+			// One canonical encoding means one stable identity.
+			if h1, h2 := config.Hash(doc), config.Hash(back); h1 != h2 {
+				t.Errorf("hash not stable across round trip: %s vs %s", h1, h2)
+			}
+			if sh := config.ShortHash(doc); len(sh) != 12 {
+				t.Errorf("short hash %q is not 12 hex chars", sh)
+			}
+		})
+	}
+}
+
+// TestDecodeRejects pins the strictness guarantees: typos and junk
+// fail loudly instead of silently running defaults.
+func TestDecodeRejects(t *testing.T) {
+	for _, tc := range []struct{ name, in, wantErr string }{
+		{"unknown field", `{"version":1,"capacty":5,"mode":"off","groups":[]}`, "unknown field"},
+		{"trailing data", `{"version":1,"capacity":5,"mode":"off","groups":[]}{}`, "trailing data"},
+		{"bad duration", `{"version":1,"duration":"fast","capacity":5,"mode":"off","groups":[]}`, "duration"},
+		{"numeric duration", `{"version":1,"duration":30,"capacity":5,"mode":"off","groups":[]}`, "duration must be a string"},
+	} {
+		_, err := config.Decode(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestValidateRejects covers the version/mode/content gates above
+// scenario.Config.Validate.
+func TestValidateRejects(t *testing.T) {
+	base := func() config.Scenario {
+		return config.Scenario{
+			Version:  config.Version,
+			Capacity: 10,
+			Mode:     "auction",
+			Groups:   []config.ClientGroup{{Name: "g", Count: 1, Good: true}},
+		}
+	}
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*config.Scenario)
+		wantErr string
+	}{
+		{"future version", func(s *config.Scenario) { s.Version = 2 }, "unsupported schema version"},
+		{"unknown mode", func(s *config.Scenario) { s.Mode = "turbo" }, "unknown mode"},
+		{"no groups", func(s *config.Scenario) { s.Groups = nil }, "no client groups"},
+		{"zero capacity", func(s *config.Scenario) { s.Capacity = 0 }, "Capacity"},
+		{"unknown strategy", func(s *config.Scenario) {
+			s.Groups[0].Good = false
+			s.Groups[0].Strategy = "shrew"
+		}, "shrew"},
+		{"bad bottleneck ref", func(s *config.Scenario) { s.Groups[0].Bottleneck = 3 }, "bottleneck"},
+	} {
+		s := base()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base scenario should validate: %v", err)
+	}
+}
+
+// TestDecodeThinner covers the /control/config body decoder.
+func TestDecodeThinner(t *testing.T) {
+	th, err := config.DecodeThinner(strings.NewReader(`{"sweep_interval":"250ms","shards":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.SweepInterval.D() != 250*time.Millisecond || th.Shards != 4 {
+		t.Fatalf("decoded %+v", th)
+	}
+	for _, tc := range []struct{ in, wantErr string }{
+		{`{"sweep_intervl":"250ms"}`, "unknown field"},
+		{`{"sweep_interval":"250ms"} extra`, "trailing data"},
+		{`not json`, "invalid character"},
+	} {
+		if _, err := config.DecodeThinner(strings.NewReader(tc.in)); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%q: err = %v, want substring %q", tc.in, err, tc.wantErr)
+		}
+	}
+}
+
+// TestResolve checks command-style resolution: disk path first, then
+// the embedded set with an optional .json suffix.
+func TestResolve(t *testing.T) {
+	if _, err := config.Resolve(configs.FS, "fig8"); err != nil {
+		t.Fatalf("embedded by bare name: %v", err)
+	}
+	if _, err := config.Resolve(configs.FS, "fig8.json"); err != nil {
+		t.Fatalf("embedded by file name: %v", err)
+	}
+	if _, err := config.Resolve(configs.FS, "no-such-scenario"); err == nil ||
+		!strings.Contains(err.Error(), "not an embedded scenario") {
+		t.Fatalf("missing name: err = %v", err)
+	}
+
+	dir := t.TempDir()
+	doc, err := config.LoadFS(configs.FS, "example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Name = "on-disk"
+	path := filepath.Join(dir, "mine.json")
+	if err := os.WriteFile(path, config.Encode(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := config.Resolve(configs.FS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "on-disk" {
+		t.Fatalf("disk file did not win: %+v", got.Name)
+	}
+
+	// A broken disk file is an error, not a silent fall-through to the
+	// embedded set.
+	bad := filepath.Join(dir, "fig8.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := config.Resolve(configs.FS, bad); err == nil {
+		t.Fatal("corrupt disk file resolved anyway")
+	}
+}

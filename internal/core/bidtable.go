@@ -441,6 +441,20 @@ func (t *BidTable) SetInactivityTimeout(d time.Duration) {
 	t.wheelShift = shift
 }
 
+// UpdateInactivityTimeout changes the deadline horizon while the
+// table is live (Thinner.Reconfigure). Unlike SetInactivityTimeout it
+// keeps the wheel's granularity: deadlines beyond the current horizon
+// clamp to the farthest slot and are re-checked when they fire, so a
+// grown timeout only causes early re-checks. Call from the control
+// goroutine — the same one running MarkEligible and the sweep, which
+// are the only readers.
+func (t *BidTable) UpdateInactivityTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.inactT = d
+}
+
 // Shards returns the shard count (a power of two).
 func (t *BidTable) Shards() int { return len(t.shards) }
 

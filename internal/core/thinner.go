@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"slices"
 	"time"
+
+	"speakup/internal/metrics"
 )
 
 // Clock abstracts time so the thinner runs unchanged over virtual time
@@ -65,15 +68,22 @@ type Stats struct {
 // from any goroutine, which is what lets the live front sink payment
 // bytes on every core while the auction stays single-threaded.
 type Thinner struct {
-	clock     Clock
-	cfg       Config
-	table     *BidTable
-	busy      bool
-	stats     Stats
-	goingRate int64 // winning bid of the most recent auction
+	clock      Clock
+	cfg        Config
+	table      *BidTable
+	busy       bool
+	stats      Stats
+	goingRate  int64     // winning bid of the most recent auction
+	lastWinner RequestID // id of the most recent auction winner
 
 	stopSweep func()
+	sweepGen  uint64      // invalidates fired-but-unrun sweep timers on Reconfigure
 	sweepIDs  []RequestID // reused eviction buffer; sweep is single-goroutine
+
+	// Metrics, if non-nil, receives every admission and eviction for
+	// telemetry. Set it before traffic, from the thinner's control
+	// goroutine. Nil skips all recording.
+	Metrics *metrics.Registry
 
 	// Admit delivers a request to the server; paid is the winning bid
 	// in bytes (0 when the server was free — no auction needed).
@@ -114,6 +124,57 @@ func (t *Thinner) Busy() bool { return t.busy }
 // recent auction"). It is 0 before any auction.
 func (t *Thinner) GoingRate() int64 { return t.goingRate }
 
+// LastWinner returns the id of the most recent auction winner (0
+// before any auction), read like GoingRate from the control path.
+func (t *Thinner) LastWinner() RequestID { return t.lastWinner }
+
+// Config returns the thinner's effective configuration (defaults
+// applied, later Reconfigure calls included).
+func (t *Thinner) Config() Config { return t.cfg }
+
+// Reconfigure applies safe live configuration changes from the
+// control goroutine: the two eviction timeouts and the sweep cadence.
+// Zero fields keep their current value; negative ones are rejected. A
+// Shards change is rejected — the bid table's shard count is fixed at
+// construction (restart to change it) — except as a no-op restating
+// the current count. The call is atomic: on error nothing changes.
+//
+// A shrunk InactivityTimeout takes full effect lazily: channels
+// already scheduled on the inactivity wheel fire at their old
+// deadline, where the sweep re-checks them against the new timeout —
+// so an eviction can run late by at most the old timeout, never early.
+func (t *Thinner) Reconfigure(cfg Config) error {
+	next := t.cfg
+	if cfg.OrphanTimeout < 0 || cfg.InactivityTimeout < 0 || cfg.SweepInterval < 0 {
+		return fmt.Errorf("core: negative timeouts are invalid: %+v", cfg)
+	}
+	if cfg.Shards != 0 && cfg.Shards != t.table.Shards() {
+		return fmt.Errorf("core: shard count is fixed at construction (have %d, asked %d); restart the thinner to resize the bid table",
+			t.table.Shards(), cfg.Shards)
+	}
+	if cfg.OrphanTimeout != 0 {
+		next.OrphanTimeout = cfg.OrphanTimeout
+	}
+	if cfg.InactivityTimeout != 0 {
+		next.InactivityTimeout = cfg.InactivityTimeout
+	}
+	if cfg.SweepInterval != 0 {
+		next.SweepInterval = cfg.SweepInterval
+	}
+	t.cfg = next
+	t.table.UpdateInactivityTimeout(next.InactivityTimeout)
+	if t.stopSweep != nil {
+		// Restart the sweep chain at the new cadence. The old timer may
+		// already have fired and be blocked on the control mutex we hold;
+		// bumping the generation makes that stale callback a no-op
+		// instead of a second concurrent chain.
+		t.stopSweep()
+		t.sweepGen++
+		t.scheduleSweep()
+	}
+	return nil
+}
+
 // Stop cancels the timeout sweeper.
 func (t *Thinner) Stop() {
 	if t.stopSweep != nil {
@@ -133,6 +194,9 @@ func (t *Thinner) RequestArrived(id RequestID) {
 		t.stats.Admitted++
 		t.stats.AdmittedDirect++
 		t.stats.PaidBytes += paid
+		if t.Metrics != nil {
+			t.Metrics.RecordAdmit(uint64(id), paid, false)
+		}
 		if t.Admit != nil {
 			t.Admit(id, paid)
 		}
@@ -167,8 +231,12 @@ func (t *Thinner) ServerDone() {
 	paid := t.table.Remove(id, ChanAdmitted)
 	t.busy = true
 	t.goingRate = paid
+	t.lastWinner = id
 	t.stats.Admitted++
 	t.stats.PaidBytes += paid
+	if t.Metrics != nil {
+		t.Metrics.RecordAdmit(uint64(id), paid, true)
+	}
 	if t.Evict != nil {
 		t.Evict(id, paid, false)
 	}
@@ -178,7 +246,11 @@ func (t *Thinner) ServerDone() {
 }
 
 func (t *Thinner) scheduleSweep() {
+	gen := t.sweepGen
 	t.stopSweep = t.clock.After(t.cfg.SweepInterval, func() {
+		if t.sweepGen != gen {
+			return // Reconfigure restarted the chain after this timer fired
+		}
 		t.sweep()
 		t.scheduleSweep()
 	})
@@ -204,6 +276,9 @@ func (t *Thinner) sweep() {
 		paid := t.table.Remove(id, ChanEvicted)
 		t.stats.Evicted++
 		t.stats.WastedBytes += paid
+		if t.Metrics != nil {
+			t.Metrics.RecordEvict(uint64(id), paid)
+		}
 		if t.Evict != nil {
 			t.Evict(id, paid, true)
 		}

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"time"
 
+	"speakup/configs"
 	"speakup/internal/appsim"
+	"speakup/internal/config"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
@@ -50,6 +52,41 @@ func (o Opts) withDefaults() Opts {
 // sweepGrid executes a grid with this Opts' parallelism and progress.
 func (o Opts) sweepGrid(g *sweep.Grid) []sweep.Result {
 	return sweep.Engine{Workers: o.Workers, Progress: o.Progress}.Sweep(g.Runs())
+}
+
+// base loads a driver's base scenario from the embedded configs/ file
+// set and stamps this Opts' seed and duration over it. Figure drivers
+// declare topology, population, and policy in configs/<name>; only
+// their grid axes remain code (applied per cell with cell). The file
+// set ships inside the binary, so a driver base cannot fail to load
+// except through a programming error — hence the panic.
+func (o Opts) base(name string) scenario.Config {
+	doc, err := config.LoadFS(configs.FS, name)
+	if err != nil {
+		panic(fmt.Errorf("exp: embedded base scenario: %w", err))
+	}
+	cfg, err := doc.Config()
+	if err != nil {
+		panic(fmt.Errorf("exp: embedded base scenario %s: %w", name, err))
+	}
+	cfg.Seed = o.Seed
+	cfg.Duration = o.Duration
+	return cfg
+}
+
+// cell copies a base scenario and applies one grid cell's axis
+// overrides. Groups, Bottlenecks, and BystanderH are cloned first, so
+// mutations never leak between cells of the same base (the sweep
+// engine runs cells concurrently).
+func cell(base scenario.Config, mut func(*scenario.Config)) scenario.Config {
+	base.Groups = append([]scenario.ClientGroup(nil), base.Groups...)
+	base.Bottlenecks = append([]scenario.Bottleneck(nil), base.Bottlenecks...)
+	if base.BystanderH != nil {
+		b := *base.BystanderH
+		base.BystanderH = &b
+	}
+	mut(&base)
+	return base
 }
 
 // equalMix returns the standard 50-client, 2 Mbit/s-per-client
@@ -90,20 +127,22 @@ func (r *Fig2Result) Table() *metrics.Table {
 // speak-up against the ideal proportional line.
 func Fig2(o Opts) *Fig2Result {
 	o = o.withDefaults()
+	base := o.base("fig2.json")
 	tenths := []int{1, 3, 5, 7, 9}
 	var g sweep.Grid
 	type pair struct{ on, off int }
 	cells := make([]pair, len(tenths))
 	for i, t := range tenths {
 		nGood := 5 * t // 50 clients: f=0.1 -> 5 good
-		cells[i].on = g.Add(fmt.Sprintf("fig2/f=0.%d/on", t), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode: appsim.ModeAuction, Groups: equalMix(nGood),
-		})
-		cells[i].off = g.Add(fmt.Sprintf("fig2/f=0.%d/off", t), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode: appsim.ModeOff, Groups: equalMix(nGood),
-		})
+		split := func(c *scenario.Config) {
+			c.Groups[0].Count = nGood
+			c.Groups[1].Count = 50 - nGood
+		}
+		cells[i].on = g.Add(fmt.Sprintf("fig2/f=0.%d/on", t), cell(base, split))
+		cells[i].off = g.Add(fmt.Sprintf("fig2/f=0.%d/off", t), cell(base, func(c *scenario.Config) {
+			split(c)
+			c.Mode = appsim.ModeOff
+		}))
 	}
 	rs := o.sweepGrid(&g)
 	res := &Fig2Result{}
@@ -144,19 +183,20 @@ type Fig345Result struct{ Points []Fig345Point }
 // c_id = 100.
 func Fig345(o Opts) *Fig345Result {
 	o = o.withDefaults()
+	base := o.base("fig345.json")
 	caps := []float64{50, 100, 200}
 	var g sweep.Grid
 	type pair struct{ on, off int }
 	cells := make([]pair, len(caps))
 	for i, c := range caps {
-		cells[i].on = g.Add(fmt.Sprintf("fig345/c=%g/on", c), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: c,
-			Mode: appsim.ModeAuction, Groups: equalMix(25),
-		})
-		cells[i].off = g.Add(fmt.Sprintf("fig345/c=%g/off", c), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: c,
-			Mode: appsim.ModeOff, Groups: equalMix(25),
-		})
+		capacity := c
+		cells[i].on = g.Add(fmt.Sprintf("fig345/c=%g/on", c), cell(base, func(cfg *scenario.Config) {
+			cfg.Capacity = capacity
+		}))
+		cells[i].off = g.Add(fmt.Sprintf("fig345/c=%g/off", c), cell(base, func(cfg *scenario.Config) {
+			cfg.Capacity = capacity
+			cfg.Mode = appsim.ModeOff
+		}))
 	}
 	rs := o.sweepGrid(&g)
 	res := &Fig345Result{}
@@ -255,13 +295,14 @@ func (r *Sec74Result) Table() *metrics.Table {
 func Sec74MinCapacity(o Opts) *Sec74Result {
 	o = o.withDefaults()
 	res := &Sec74Result{Threshold: 0.95, IdealCapacity: 100}
+	base := o.base("sec74.json")
 	caps := []float64{100, 105, 110, 115, 120, 130, 140}
 	var g sweep.Grid
 	for _, c := range caps {
-		g.Add(fmt.Sprintf("sec74/c=%g", c), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: c,
-			Mode: appsim.ModeAuction, Groups: equalMix(25),
-		})
+		capacity := c
+		g.Add(fmt.Sprintf("sec74/c=%g", c), cell(base, func(cfg *scenario.Config) {
+			cfg.Capacity = capacity
+		}))
 	}
 	for i, sr := range o.sweepGrid(&g) {
 		c, r := caps[i], sr.Result
@@ -301,17 +342,14 @@ func (r *Sec74WindowResult) Table() *metrics.Table {
 func Sec74WindowSweep(o Opts) *Sec74WindowResult {
 	o = o.withDefaults()
 	res := &Sec74WindowResult{}
+	base := o.base("sec74.json")
 	windows := []int{1, 5, 10, 20, 40, 60}
 	var g sweep.Grid
 	for _, w := range windows {
-		g.Add(fmt.Sprintf("window/w=%d", w), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode: appsim.ModeAuction,
-			Groups: []scenario.ClientGroup{
-				{Name: "good", Count: 25, Good: true},
-				{Name: "bad", Count: 25, Good: false, Window: w},
-			},
-		})
+		window := w
+		g.Add(fmt.Sprintf("window/w=%d", w), cell(base, func(cfg *scenario.Config) {
+			cfg.Groups[1].Window = window
+		}))
 	}
 	for i, sr := range o.sweepGrid(&g) {
 		r := sr.Result

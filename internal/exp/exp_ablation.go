@@ -40,13 +40,14 @@ func (r *VariantsResult) Table() *metrics.Table {
 func Variants(o Opts) *VariantsResult {
 	o = o.withDefaults()
 	res := &VariantsResult{}
+	base := o.base("variants.json")
 	modes := []appsim.Mode{appsim.ModeOff, appsim.ModeRandomDrop, appsim.ModeAuction}
 	var g sweep.Grid
 	for _, mode := range modes {
-		g.Add("variants/"+mode.String(), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode: mode, Groups: equalMix(25),
-		})
+		m := mode
+		g.Add("variants/"+mode.String(), cell(base, func(c *scenario.Config) {
+			c.Mode = m
+		}))
 	}
 	for i, sr := range o.sweepGrid(&g) {
 		res.Points = append(res.Points, VariantPoint{
@@ -134,24 +135,14 @@ func (r *HeteroResult) Table() *metrics.Table {
 func Hetero(o Opts) *HeteroResult {
 	o = o.withDefaults()
 	easy := 50 * time.Millisecond // c = 20 easy requests/s
-	groups := func() []scenario.ClientGroup {
-		return []scenario.ClientGroup{
-			{Name: "good", Count: 10, Good: true, Work: easy},
-			{Name: "bad", Count: 10, Good: false, Work: 10 * easy},
-		}
-	}
 	res := &HeteroResult{}
+	base := o.base("hetero.json")
 	var g sweep.Grid
-	g.Add("hetero/naive", scenario.Config{
-		Seed: o.Seed, Duration: o.Duration, Capacity: 20,
-		Mode: appsim.ModeAuction, Groups: groups(),
-	})
-	g.Add("hetero/quantum", scenario.Config{
-		Seed: o.Seed, Duration: o.Duration, Capacity: 20,
-		Mode:   appsim.ModeHetero,
-		Hetero: core.HeteroConfig{Tau: easy},
-		Groups: groups(),
-	})
+	g.Add("hetero/naive", base)
+	g.Add("hetero/quantum", cell(base, func(c *scenario.Config) {
+		c.Mode = appsim.ModeHetero
+		c.Hetero = core.HeteroConfig{Tau: easy}
+	}))
 	rs := o.sweepGrid(&g)
 	naive, quantum := rs[0].Result, rs[1].Result
 	for _, c := range []struct {
@@ -204,15 +195,14 @@ func (r *POSTSizeResult) Table() *metrics.Table {
 func POSTSize(o Opts) *POSTSizeResult {
 	o = o.withDefaults()
 	res := &POSTSizeResult{}
+	base := o.base("postsize.json")
 	posts := []int{64_000, 250_000, 1_000_000, 4_000_000}
 	var g sweep.Grid
 	for _, post := range posts {
-		g.Add(fmt.Sprintf("postsize/%dKB", post/1000), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode:   appsim.ModeAuction,
-			Groups: equalMix(25),
-			Sizes:  appsim.Sizes{Post: post},
-		})
+		p := post
+		g.Add(fmt.Sprintf("postsize/%dKB", post/1000), cell(base, func(c *scenario.Config) {
+			c.Sizes = appsim.Sizes{Post: p}
+		}))
 	}
 	for i, sr := range o.sweepGrid(&g) {
 		res.Points = append(res.Points, POSTSizePoint{
@@ -267,19 +257,14 @@ func (r *ParallelConnsResult) Table() *metrics.Table {
 func ParallelConns(o Opts) *ParallelConnsResult {
 	o = o.withDefaults()
 	res := &ParallelConnsResult{}
+	// The base declares the shared link and both rivals with fat access
+	// links (the shared link, not the client's own uplink, must be the
+	// binding constraint); each cell rewrites the gamer group.
+	base := o.base("parconns.json")
 	cfg := func(gamer scenario.ClientGroup) scenario.Config {
-		return scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 2,
-			Mode:        appsim.ModeAuction,
-			Bottlenecks: []scenario.Bottleneck{{Rate: 2e6, Delay: time.Millisecond}},
-			Groups: []scenario.ClientGroup{
-				// Fat access links: the shared link, not the client's own
-				// uplink, must be the binding constraint.
-				{Name: "bn-fair", Count: 1, Good: true, Bottleneck: 1, Lambda: 10, Window: 1, Bandwidth: 10e6},
-				gamer,
-				{Name: "direct-good", Count: 1, Good: true, Lambda: 10, Window: 1},
-			},
-		}
+		return cell(base, func(c *scenario.Config) {
+			c.Groups[1] = gamer
+		})
 	}
 	share := func(r *scenario.Result) float64 {
 		g, b := r.Groups[0].Served, r.Groups[1].Served

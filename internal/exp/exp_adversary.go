@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"speakup/internal/adversary"
-	"speakup/internal/appsim"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
@@ -97,24 +96,24 @@ func (r *AdversaryResult) FrontierTable() *metrics.Table {
 // share no matter how the attackers time, mimic, cheat, or adapt.
 func Adversary(o Opts) *AdversaryResult {
 	o = o.withDefaults()
+	base := o.base("adversary.json")
 	var g sweep.Grid
-	type cell struct {
+	type gridCell struct {
 		strategy     string
 		aggro, ratio float64
 	}
-	var cells []cell
+	var cells []gridCell
 	for _, s := range adversary.Names() {
 		for _, a := range adversaryAggros {
 			for _, r := range adversaryRatios {
-				g.Add(fmt.Sprintf("adversary/%s/aggro=%g/bw=%gx", s, a, r), scenario.Config{
-					Seed: o.Seed, Duration: o.Duration, Capacity: 30,
-					Mode: appsim.ModeAuction,
-					Groups: []scenario.ClientGroup{
-						{Name: "good", Count: 10, Good: true},
-						{Name: s, Count: 10, Strategy: s, Aggressiveness: a, Bandwidth: 2e6 * r},
-					},
-				})
-				cells = append(cells, cell{strategy: s, aggro: a, ratio: r})
+				name, aggro, ratio := s, a, r
+				g.Add(fmt.Sprintf("adversary/%s/aggro=%g/bw=%gx", s, a, r), cell(base, func(c *scenario.Config) {
+					c.Groups[1] = scenario.ClientGroup{
+						Name: name, Count: 10, Strategy: name,
+						Aggressiveness: aggro, Bandwidth: 2e6 * ratio,
+					}
+				}))
+				cells = append(cells, gridCell{strategy: s, aggro: a, ratio: r})
 			}
 		}
 	}

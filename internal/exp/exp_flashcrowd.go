@@ -42,16 +42,14 @@ func (r *FlashCrowdResult) Table() *metrics.Table {
 func FlashCrowd(o Opts) *FlashCrowdResult {
 	o = o.withDefaults()
 	res := &FlashCrowdResult{}
+	base := o.base("flashcrowd.json")
 	modes := []appsim.Mode{appsim.ModeOff, appsim.ModeAuction}
 	var grid sweep.Grid
 	for _, mode := range modes {
-		grid.Add("flashcrowd/"+mode.String(), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-			Mode: mode,
-			Groups: []scenario.ClientGroup{
-				{Name: "crowd", Count: 50, Good: true, Lambda: 10, Window: 2},
-			},
-		})
+		m := mode
+		grid.Add("flashcrowd/"+mode.String(), cell(base, func(c *scenario.Config) {
+			c.Mode = m
+		}))
 	}
 	for i, sr := range o.sweepGrid(&grid) {
 		g := &sr.Result.Groups[0]

@@ -37,20 +37,13 @@ func (r *Fig6Result) Table() *metrics.Table {
 // of 10 good clients with bandwidth 0.5·i Mbit/s, server capacity 10.
 func Fig6(o Opts) *Fig6Result {
 	o = o.withDefaults()
-	var groups []scenario.ClientGroup
+	base := o.base("fig6.json")
 	var totalBW float64
-	for i := 1; i <= 5; i++ {
-		bw := 0.5e6 * float64(i)
-		totalBW += bw * 10
-		groups = append(groups, scenario.ClientGroup{
-			Name: categoryName(i), Count: 10, Good: true, Bandwidth: bw,
-		})
+	for _, g := range base.Groups {
+		totalBW += g.Bandwidth * float64(g.Count)
 	}
 	var grid sweep.Grid
-	grid.Add("fig6/heterogeneous-bw", scenario.Config{
-		Seed: o.Seed, Duration: o.Duration, Capacity: 10,
-		Mode: appsim.ModeAuction, Groups: groups,
-	})
+	grid.Add("fig6/heterogeneous-bw", base)
 	r := o.sweepGrid(&grid)[0].Result
 	var served uint64
 	for _, g := range r.Groups {
@@ -104,28 +97,18 @@ func (r *Fig7Result) Table() *metrics.Table {
 // client-thinner RTT = 100·i ms, all-good and all-bad runs, c=10.
 func Fig7(o Opts) *Fig7Result {
 	o = o.withDefaults()
-	cfg := func(good bool) scenario.Config {
-		var groups []scenario.ClientGroup
-		for i := 1; i <= 5; i++ {
-			// One-way access delay of 50·i ms gives an RTT of ~100·i ms.
-			// The paper's good clients in this experiment still use λ=2,
-			// w=1; demand must exceed c=10, and 50 clients at λ=2 offer
-			// 100 req/s.
-			groups = append(groups, scenario.ClientGroup{
-				Name:      categoryName(i),
-				Count:     10,
-				Good:      good,
-				LinkDelay: time.Duration(i) * 50 * time.Millisecond,
-			})
-		}
-		return scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 10,
-			Mode: appsim.ModeAuction, Groups: groups,
-		}
-	}
+	// The base declares the all-good run: one-way access delay of 50·i
+	// ms gives an RTT of ~100·i ms, and the good clients still use λ=2,
+	// w=1 (demand must exceed c=10; 50 clients at λ=2 offer 100 req/s).
+	// The all-bad run flips every category.
+	base := o.base("fig7.json")
 	var grid sweep.Grid
-	grid.Add("fig7/all-good", cfg(true))
-	grid.Add("fig7/all-bad", cfg(false))
+	grid.Add("fig7/all-good", base)
+	grid.Add("fig7/all-bad", cell(base, func(c *scenario.Config) {
+		for i := range c.Groups {
+			c.Groups[i].Good = false
+		}
+	}))
 	rs := o.sweepGrid(&grid)
 	allGood, allBad := rs[0].Result, rs[1].Result
 	res := &Fig7Result{}
@@ -200,21 +183,15 @@ func itoa(n int) string {
 func Fig8(o Opts) *Fig8Result {
 	o = o.withDefaults()
 	res := &Fig8Result{}
+	base := o.base("fig8.json")
 	splits := [][2]int{{5, 25}, {15, 15}, {25, 5}}
 	var grid sweep.Grid
 	for _, split := range splits {
 		ng, nb := split[0], split[1]
-		grid.Add("fig8/"+formatSplit(ng, nb), scenario.Config{
-			Seed: o.Seed, Duration: o.Duration, Capacity: 50,
-			Mode:        appsim.ModeAuction,
-			Bottlenecks: []scenario.Bottleneck{{Rate: 40e6, Delay: 250 * time.Microsecond}},
-			Groups: []scenario.ClientGroup{
-				{Name: "bn-good", Count: ng, Good: true, Bottleneck: 1},
-				{Name: "bn-bad", Count: nb, Good: false, Bottleneck: 1},
-				{Name: "direct-good", Count: 10, Good: true},
-				{Name: "direct-bad", Count: 10, Good: false},
-			},
-		})
+		grid.Add("fig8/"+formatSplit(ng, nb), cell(base, func(c *scenario.Config) {
+			c.Groups[0].Count = ng
+			c.Groups[1].Count = nb
+		}))
 	}
 	for i, sr := range o.sweepGrid(&grid) {
 		ng, nb := splits[i][0], splits[i][1]
@@ -283,21 +260,18 @@ func (r *Fig9Result) Table() *metrics.Table {
 func Fig9(o Opts) *Fig9Result {
 	o = o.withDefaults()
 	res := &Fig9Result{}
+	base := o.base("fig9.json")
 	sizes := []int{1, 4, 16, 64, 128}
 	var grid sweep.Grid
 	type pair struct{ with, without int }
 	cells := make([]pair, len(sizes))
 	for i, sizeKB := range sizes {
+		kb := sizeKB
 		cfg := func(mode appsim.Mode) scenario.Config {
-			return scenario.Config{
-				Seed: o.Seed, Duration: o.Duration, Capacity: 2,
-				Mode:        mode,
-				Bottlenecks: []scenario.Bottleneck{{Rate: 1e6, Delay: 100 * time.Millisecond}},
-				Groups: []scenario.ClientGroup{
-					{Name: "bn-good", Count: 10, Good: true, Bottleneck: 1},
-				},
-				BystanderH: &scenario.Bystander{FileSize: sizeKB * 1000, MaxDownloads: 100},
-			}
+			return cell(base, func(c *scenario.Config) {
+				c.Mode = mode
+				c.BystanderH.FileSize = kb * 1000
+			})
 		}
 		cells[i].with = grid.Add(fmt.Sprintf("fig9/%dKB/on", sizeKB), cfg(appsim.ModeAuction))
 		cells[i].without = grid.Add(fmt.Sprintf("fig9/%dKB/off", sizeKB), cfg(appsim.ModeOff))

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+
+	"speakup/internal/config"
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+	"speakup/internal/sweep"
+)
+
+// ScenarioRun is one declared scenario document executed through the
+// sweep engine (cmd/repro -scenario).
+type ScenarioRun struct {
+	// Name is the document's name (or "scenario-<i>" when unnamed).
+	Name string
+	// Hash identifies the exact configuration that ran: the short
+	// canonical hash of the document as executed — seed and duration
+	// resolved — so output is attributable to one config.
+	Hash   string
+	Result *scenario.Result
+}
+
+// ScenariosResult holds the runs of one Scenarios call.
+type ScenariosResult struct{ Runs []ScenarioRun }
+
+// Tables renders one per-group table per run, with the headline
+// aggregate rows the figure experiments report.
+func (r *ScenariosResult) Tables() []*metrics.Table {
+	var out []*metrics.Table
+	for _, run := range r.Runs {
+		res := run.Result
+		t := metrics.NewTable(
+			fmt.Sprintf("scenario %s (config %s, %v virtual seconds)",
+				run.Name, run.Hash, res.Duration.Seconds()),
+			"group", "clients", "offered", "served", "frac served",
+			"mean latency (s)", "mean pay (s)", "mean price (KB)", "paid (MB)")
+		for i := range res.Groups {
+			g := &res.Groups[i]
+			t.AddRow(g.Name, g.Clients, g.Offered(), g.Served, g.FractionServed(),
+				g.Latencies.Mean(), g.PayTimes.Mean(), g.Prices.Mean()/1000,
+				float64(g.PaidBytes)/1e6)
+		}
+		t.AddRow("good allocation", "", "", "", res.GoodAllocation, "", "", "", "")
+		t.AddRow("frac good served", "", "", "", res.FractionGoodServed, "", "", "", "")
+		out = append(out, t)
+	}
+	return out
+}
+
+// Scenarios runs user-declared scenario documents through the same
+// parallel sweep engine the figure drivers use. A document's own seed
+// and duration win; zero values fall back to Opts (so the usual
+// -duration/-seed flags scale files that leave them unset). Every
+// document is validated before any run starts.
+func Scenarios(o Opts, docs []config.Scenario) (*ScenariosResult, error) {
+	o = o.withDefaults()
+	var g sweep.Grid
+	res := &ScenariosResult{}
+	for i, doc := range docs {
+		if err := doc.Validate(); err != nil {
+			return nil, err
+		}
+		cfg, err := doc.Config()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = o.Seed
+		}
+		if cfg.Duration == 0 {
+			cfg.Duration = o.Duration
+		}
+		name := doc.Name
+		if name == "" {
+			name = fmt.Sprintf("scenario-%d", i+1)
+		}
+		// Hash the document as executed: re-deriving it from the resolved
+		// config pins seed and duration into the identity.
+		resolved := config.FromScenario(cfg)
+		resolved.Name = doc.Name
+		resolved.Notes = doc.Notes
+		g.Add("scenario/"+name, cfg)
+		res.Runs = append(res.Runs, ScenarioRun{Name: name, Hash: config.ShortHash(resolved)})
+	}
+	for i, sr := range o.sweepGrid(&g) {
+		res.Runs[i].Result = sr.Result
+	}
+	return res, nil
+}

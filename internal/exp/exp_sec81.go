@@ -2,7 +2,6 @@ package exp
 
 import (
 	"speakup/internal/appsim"
-	"speakup/internal/core"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
@@ -43,18 +42,11 @@ func (r *Sec81Result) Table() *metrics.Table {
 func Sec81SmartBots(o Opts) *Sec81Result {
 	o = o.withDefaults()
 	res := &Sec81Result{}
-	botGroups := map[string][]scenario.ClientGroup{
-		"dumb (λ=40)": {
-			{Name: "good", Count: 25, Good: true},
-			{Name: "bots", Count: 25, Good: false},
-		},
-		"smart (λ=6)": {
-			{Name: "good", Count: 25, Good: true},
-			// Smart bots mimic good clients but exploit the profile's
-			// slack: 3x the baseline rate, modest window.
-			{Name: "bots", Count: 25, Good: false, Lambda: 6, Window: 3},
-		},
-	}
+	// The base declares the dumb-bot population under profiling; smart
+	// bots mimic good clients but exploit the profile's slack (3x the
+	// baseline rate, modest window) via a per-cell override.
+	base := o.base("sec81.json")
+	smartBots := map[string]bool{"smart (λ=6)": true}
 	defenses := []struct {
 		name string
 		mode appsim.Mode
@@ -63,18 +55,20 @@ func Sec81SmartBots(o Opts) *Sec81Result {
 		{"speak-up", appsim.ModeAuction},
 		{"none", appsim.ModeOff},
 	}
-	type cell struct{ defense, bots string }
-	var cells []cell
+	type gridCell struct{ defense, bots string }
+	var cells []gridCell
 	var g sweep.Grid
 	for _, bots := range []string{"dumb (λ=40)", "smart (λ=6)"} {
 		for _, d := range defenses {
-			g.Add("sec81/"+d.name+"/"+bots, scenario.Config{
-				Seed: o.Seed, Duration: o.Duration, Capacity: 100,
-				Mode:     d.mode,
-				Groups:   botGroups[bots],
-				Profiler: core.ProfilerConfig{BaselineRate: 2, Slack: 3},
-			})
-			cells = append(cells, cell{defense: d.name, bots: bots})
+			mode, smart := d.mode, smartBots[bots]
+			g.Add("sec81/"+d.name+"/"+bots, cell(base, func(c *scenario.Config) {
+				c.Mode = mode
+				if smart {
+					c.Groups[1].Lambda = 6
+					c.Groups[1].Window = 3
+				}
+			}))
+			cells = append(cells, gridCell{defense: d.name, bots: bots})
 		}
 	}
 	for i, sr := range o.sweepGrid(&g) {

@@ -1,0 +1,82 @@
+package metrics
+
+import "sync/atomic"
+
+// Registry accumulates thinner activity for telemetry. Both thinner
+// stacks feed the same registry type: the simulator's virtual-time
+// thinner and the live HTTP front attach one to core.Thinner (nil —
+// the default — costs nothing), and the live front's /telemetry
+// endpoint streams Snapshot lines from it.
+//
+// All fields are atomics: the recording side runs on the thinner's
+// control path while snapshots are taken from arbitrary telemetry
+// goroutines. Counters are monotone; GoingPrice and LastWinner are
+// last-value gauges.
+type Registry struct {
+	admitted       atomic.Uint64
+	admittedDirect atomic.Uint64
+	auctions       atomic.Uint64
+	evicted        atomic.Uint64
+	paidBytes      atomic.Int64
+	wastedBytes    atomic.Int64
+	goingPrice     atomic.Int64
+	lastWinner     atomic.Uint64
+}
+
+// RecordAdmit counts one admission. paid is the winning bid in bytes;
+// auctioned distinguishes auction wins from direct admissions to a
+// free origin (which carry no auction and usually no payment).
+func (r *Registry) RecordAdmit(id uint64, paid int64, auctioned bool) {
+	r.admitted.Add(1)
+	r.paidBytes.Add(paid)
+	if auctioned {
+		r.auctions.Add(1)
+		r.goingPrice.Store(paid)
+		r.lastWinner.Store(id)
+	} else {
+		r.admittedDirect.Add(1)
+	}
+}
+
+// RecordEvict counts one timed-out payment channel; paid is the
+// balance the channel forfeits.
+func (r *Registry) RecordEvict(id uint64, paid int64) {
+	r.evicted.Add(1)
+	r.wastedBytes.Add(paid)
+}
+
+// Snapshot is one telemetry observation — the NDJSON line shape of
+// thinnerd's /telemetry stream. The registry fills the thinner
+// counters; the snapshotting side (the live front) fills the
+// deployment gauges (uptime, ingest, table sizes), which the registry
+// cannot see.
+type Snapshot struct {
+	UptimeMS       int64   `json:"uptime_ms"`
+	Admitted       uint64  `json:"admitted"`
+	AdmittedDirect uint64  `json:"admitted_direct"`
+	Auctions       uint64  `json:"auctions"`
+	Evicted        uint64  `json:"evicted"`
+	PaidBytes      int64   `json:"paid_bytes"`
+	WastedBytes    int64   `json:"wasted_bytes"`
+	GoingPrice     int64   `json:"going_price_bytes"`
+	LastWinner     uint64  `json:"last_winner_id"`
+	IngestBytes    int64   `json:"ingest_bytes"`
+	IngestMbps     float64 `json:"ingest_mbps"`
+	OpenChannels   int     `json:"open_channels"`
+	Contenders     int     `json:"contenders"`
+}
+
+// Snapshot reads the registry's counters. Each field is individually
+// atomic; the set is not a consistent cut, which telemetry tolerates.
+func (r *Registry) Snapshot() Snapshot {
+	return Snapshot{
+		Admitted:       r.admitted.Load(),
+		AdmittedDirect: r.admittedDirect.Load(),
+		Auctions:       r.auctions.Load(),
+		Evicted:        r.evicted.Load(),
+		PaidBytes:      r.paidBytes.Load(),
+		WastedBytes:    r.wastedBytes.Load(),
+		GoingPrice:     r.goingPrice.Load(),
+		LastWinner:     r.lastWinner.Load(),
+	}
+}

@@ -17,6 +17,15 @@
 //	                              with another POST, that it was
 //	                              admitted, or that it was evicted.
 //	GET  /stats                   JSON counters.
+//	GET  /telemetry               NDJSON stream of periodic snapshots
+//	                              (?interval=500ms tunes the cadence).
+//	GET  /control/config          the thinner's effective configuration
+//	                              (the scenario schema's thinner section).
+//	POST /control/config          live reconfiguration: a thinner section
+//	                              whose zero fields mean "unchanged".
+//	                              Timeouts and the sweep cadence apply
+//	                              atomically; a shard-count change is
+//	                              rejected with 400.
 //
 // Ingest architecture: the whole point of speak-up is that the thinner
 // absorbs far more traffic than the origin serves, so the payment path
@@ -41,7 +50,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speakup/internal/config"
 	"speakup/internal/core"
+	"speakup/internal/metrics"
 )
 
 // Origin is the protected service behind the thinner.
@@ -133,8 +144,16 @@ type Front struct {
 	th    *core.Thinner
 	table *core.BidTable
 
+	// reg receives every admission and eviction from the thinner core;
+	// /telemetry streams snapshots of it without taking ctl.
+	reg metrics.Registry
+
 	served atomic.Uint64
 	bufs   sync.Pool // *[]byte of cfg.PayChunk, for /pay read loops
+
+	// closed ends /telemetry streams when the front shuts down.
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewFront builds the front-end for an origin.
@@ -143,6 +162,7 @@ func NewFront(origin Origin, cfg Config) *Front {
 		cfg:     cfg.withDefaults(),
 		origin:  origin,
 		started: time.Now(),
+		closed:  make(chan struct{}),
 	}
 	f.bufs.New = func() any {
 		b := make([]byte, f.cfg.PayChunk)
@@ -158,6 +178,7 @@ func NewFront(origin Origin, cfg Config) *Front {
 	f.table = f.th.Table()
 	f.th.Admit = f.admit
 	f.th.Evict = f.evict
+	f.th.Metrics = &f.reg
 	f.ctl.Unlock()
 	return f
 }
@@ -229,6 +250,10 @@ func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.handlePay(w, r)
 	case "/stats":
 		f.handleStats(w)
+	case "/telemetry":
+		f.handleTelemetry(w, r)
+	case "/control/config":
+		f.handleControlConfig(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -381,7 +406,10 @@ type Stats struct {
 	PaymentBytes int64   `json:"payment_bytes"`
 	PaymentMbps  float64 `json:"payment_mbps"`
 	GoingRate    int64   `json:"going_rate_bytes"`
-	Contenders   int     `json:"contenders"`
+	// LastWinner is the id of the most recent auction winner (0 before
+	// any auction) — with GoingRate, the public auction observables.
+	LastWinner core.RequestID `json:"last_winner_id"`
+	Contenders int            `json:"contenders"`
 	// OpenChannels counts every open payment channel including
 	// orphans (paid, request not yet arrived) — under flood this is
 	// the population the PR 5 indexes keep auction and sweep cost
@@ -398,6 +426,7 @@ func (f *Front) Snapshot() Stats {
 	up := time.Since(f.started)
 	f.ctl.Lock()
 	going := f.th.GoingRate()
+	winner := f.th.LastWinner()
 	totals := f.th.Stats()
 	f.ctl.Unlock()
 	pay := f.table.TotalCredited()
@@ -407,6 +436,7 @@ func (f *Front) Snapshot() Stats {
 		PaymentBytes:  pay,
 		PaymentMbps:   float64(pay) * 8 / up.Seconds() / 1e6,
 		GoingRate:     going,
+		LastWinner:    winner,
 		Contenders:    f.table.Eligible(),
 		OpenChannels:  f.table.Size(),
 		Shards:        f.table.Shards(),
@@ -419,11 +449,105 @@ func (f *Front) handleStats(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(f.Snapshot())
 }
 
+// Reconfigure applies a thinner-section patch to the live auction
+// core: zero fields keep their value, timeouts and the sweep cadence
+// apply atomically under the control mutex, and a shard-count change
+// is rejected (the bid table is sized at construction). Safe to call
+// concurrently with traffic; /control/config POSTs land here.
+func (f *Front) Reconfigure(patch config.Thinner) error {
+	f.ctl.Lock()
+	defer f.ctl.Unlock()
+	return f.th.Reconfigure(patch.Core())
+}
+
+// ThinnerConfig returns the thinner's effective configuration as its
+// scenario-schema section (what /control/config GET reports).
+func (f *Front) ThinnerConfig() config.Thinner {
+	f.ctl.Lock()
+	defer f.ctl.Unlock()
+	return config.ThinnerFromCore(f.th.Config())
+}
+
+func (f *Front) handleControlConfig(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f.ThinnerConfig())
+	case http.MethodPost:
+		patch, err := config.DecodeThinner(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := f.Reconfigure(patch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f.ThinnerConfig())
+	default:
+		http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+	}
+}
+
+// Telemetry returns one telemetry snapshot: the thinner registry's
+// counters plus the deployment gauges only the front can see. It
+// never takes the control mutex, so streaming cannot contend with
+// auctions.
+func (f *Front) Telemetry() metrics.Snapshot {
+	s := f.reg.Snapshot()
+	up := time.Since(f.started)
+	s.UptimeMS = up.Milliseconds()
+	s.IngestBytes = f.table.TotalCredited()
+	s.IngestMbps = float64(s.IngestBytes) * 8 / up.Seconds() / 1e6
+	s.OpenChannels = f.table.Size()
+	s.Contenders = f.table.Eligible()
+	return s
+}
+
+func (f *Front) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	interval := time.Second
+	if raw := r.URL.Query().Get("interval"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad interval: want a positive Go duration like 500ms", http.StatusBadRequest)
+			return
+		}
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond // floor: keep a hostile ?interval=1ns from busy-looping
+		}
+		interval = d
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if err := enc.Encode(f.Telemetry()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-f.closed:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
 // Table exposes the front's bid table (tests, stats integrations).
 func (f *Front) Table() *core.BidTable { return f.table }
 
-// Close stops the thinner's background timers.
+// Close stops the thinner's background timers and ends any open
+// /telemetry streams.
 func (f *Front) Close() {
+	f.closeOnce.Do(func() { close(f.closed) })
 	f.ctl.Lock()
 	defer f.ctl.Unlock()
 	f.th.Stop()

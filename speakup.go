@@ -33,8 +33,10 @@ import (
 	"fmt"
 	"net/http"
 
+	"speakup/configs"
 	"speakup/internal/adversary"
 	"speakup/internal/appsim"
+	"speakup/internal/config"
 	"speakup/internal/core"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
@@ -77,6 +79,29 @@ const (
 // Simulate runs a deployment for cfg.Duration of virtual time and
 // returns the aggregated results. Runs are deterministic in cfg.Seed.
 func Simulate(cfg Scenario) *Result { return scenario.Run(cfg) }
+
+// Declarative scenario files: the versioned JSON schema every command
+// shares (cmd/repro -scenario, cmd/thinnerd, cmd/loadgen; files under
+// configs/). A document converts to a runnable [Scenario] with its
+// Config method and back with internal/config.FromScenario; encoding
+// is canonical, so each document has exactly one hash.
+type (
+	// ScenarioFile is one declarative scenario document.
+	ScenarioFile = config.Scenario
+	// ScenarioThinner is a document's thinner section — also the body
+	// of thinnerd's /control/config endpoint.
+	ScenarioThinner = config.Thinner
+)
+
+// LoadScenarioFile resolves and validates a scenario document by name:
+// a disk path wins; otherwise the name is looked up in the embedded
+// configs/ set, where the ".json" suffix is optional.
+func LoadScenarioFile(name string) (ScenarioFile, error) { return config.Resolve(configs.FS, name) }
+
+// ScenarioFileHash returns the short hash of a document's canonical
+// encoding — the identity repro tables, loadgen summaries, and BENCH
+// entries use to attribute results to one exact configuration.
+func ScenarioFileHash(s ScenarioFile) string { return config.ShortHash(s) }
 
 // Parallel experiment sweeps. A SweepGrid collects named Scenarios; a
 // SweepEngine fans them across a worker pool and returns results
