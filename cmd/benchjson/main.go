@@ -37,6 +37,12 @@
 // serially and across a worker pool, reported as events/sec against
 // the PR 2 sweep_serial baseline for trajectory continuity.
 //
+// PR 7 reports robustness rather than speed: the fault frontier
+// (internal/exp.Faults) run at bench scale, with good-service
+// retention per fault kind — the worst fault cell's good-service
+// fraction over the fault-free baseline at the same bandwidth ratio.
+// The speedup_vs_baseline field carries the worst-cell retention.
+//
 // -pr 2 re-emits the PR 2 simulator measurements (sweep_serial,
 // event_loop) for trajectory continuity.
 //
@@ -47,6 +53,7 @@
 //	go run ./cmd/benchjson -pr 3 -streams 64 -window 10s
 //	go run ./cmd/benchjson -pr 2 -out BENCH_PR2.json
 //	go run ./cmd/benchjson -pr 4 -dur 10s   # adversary sweep events/sec
+//	go run ./cmd/benchjson -pr 7 -dur 25s   # fault-frontier retention
 package main
 
 import (
@@ -112,7 +119,10 @@ type metricsJSON struct {
 	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
 	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
 	MbitPerSec   float64 `json:"mbit_per_sec,omitempty"`
-	Note         string  `json:"note,omitempty"`
+	// Retention is the -pr 7 headline: fraction of the fault-free
+	// good-service level retained under a fault (1 = unharmed).
+	Retention float64 `json:"retention,omitempty"`
+	Note      string  `json:"note,omitempty"`
 }
 
 type fileJSON struct {
@@ -468,6 +478,44 @@ func measureSweepFlood(pop int, indexed bool) metricsJSON {
 	}
 }
 
+// ---- PR 7: fault injection and graceful degradation ----
+
+// measureFaults runs the fault frontier (internal/exp.Faults — fault
+// kind x intensity x bandwidth ratio through the full simulator with
+// retrying clients and the brownout thinner) and reports good-service
+// retention per fault kind: the worst cell against the fault-free
+// baseline at the same bandwidth ratio.
+func measureFaults(dur time.Duration) (baseline metricsJSON, rows []metricsJSON, worst float64) {
+	r := exp.Faults(exp.Opts{Duration: dur, Seed: 1, Workers: 0})
+	var baseFrac float64
+	nBase := 0
+	for _, p := range r.Points {
+		if p.Kind == "none" {
+			baseFrac += p.FracGoodServed
+			nBase++
+		}
+	}
+	baseline = metricsJSON{
+		Name:      "fault_free_good_service",
+		Retention: 1,
+		Note: fmt.Sprintf("mean good-service fraction with no faults: %.3f (%d bw ratios, %s/cell)",
+			baseFrac/float64(nBase), nBase, dur),
+	}
+	worst = 1
+	for _, fr := range r.Frontier {
+		rows = append(rows, metricsJSON{
+			Name:      "retention_" + fr.Kind,
+			Retention: fr.Worst,
+			Note: fmt.Sprintf("worst cell: %s intensity at bw ratio %g; mean retention %.3f",
+				fr.WorstIntensity, fr.WorstBWRatio, fr.MeanRetention),
+		})
+		if fr.Worst < worst {
+			worst = fr.Worst
+		}
+	}
+	return baseline, rows, worst
+}
+
 // ---- PR 2: simulator measurements (kept for trajectory re-runs) ----
 
 // sweepGrid mirrors sweepBenchGrid in bench_test.go: the §7.4 capacity
@@ -550,11 +598,11 @@ func measureEventLoop() metricsJSON {
 }
 
 func main() {
-	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, or 5)")
+	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, 5, or 7)")
 	out := flag.String("out", "", "output file (default BENCH_PR<n>.json)")
 	streams := flag.Int("streams", 32, "concurrent payment streams for the ingest window")
 	window := flag.Duration("window", 8*time.Second, "ingest measurement window")
-	dur := flag.Duration("dur", 10*time.Second, "virtual duration per adversary-sweep cell (-pr 4)")
+	dur := flag.Duration("dur", 10*time.Second, "virtual duration per sweep cell (-pr 4 adversary, -pr 7 faults)")
 	flood := flag.Int("flood", 65536, "eligible channels for the flood winner benchmark (-pr 5)")
 	flag.Parse()
 	if *flood <= 0 {
@@ -636,6 +684,17 @@ func main() {
 		f.Baseline = scan
 		f.Current = []metricsJSON{indexed, sweepIdx, sweepScan}
 		f.Speedup = float64(scan.NsPerOp) / float64(indexed.NsPerOp)
+	case 7:
+		fmt.Fprintf(os.Stderr, "benchjson: measuring the fault frontier (%s/cell) ...\n", *dur)
+		base, rows, worst := measureFaults(*dur)
+		for _, row := range rows {
+			fmt.Fprintf(os.Stderr, "  %-24s %.3f\n", row.Name, row.Retention)
+		}
+		f.Baseline = base
+		f.Current = rows
+		// The headline is a retention ratio, not a speedup: good service
+		// at the worst fault cell over the fault-free level.
+		f.Speedup = worst
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -pr %d\n", *pr)
 		os.Exit(2)

@@ -8,6 +8,16 @@
 //	loadgen [-url http://localhost:8080] [-good 3] [-bad 3]
 //	        [-bw 2e6] [-post 1048576] [-duration 30s] [-json]
 //	        [-attack <profile>] [-aggro 1.5] [-scenario <file>]
+//	        [-retry-budget 3] [-retry-base 200ms] [-retry-cap 5s]
+//	        [-req-timeout 30s]
+//
+// At startup the generator probes the front's /healthz once and exits
+// non-zero with a one-line error if the front is unreachable (any HTTP
+// response, even a degraded 503, counts as reachable). -retry-budget
+// lets clients re-issue requests after retryable failures (transport
+// errors, 502/503/504, evictions) with bounded jittered exponential
+// backoff, honoring Retry-After; -req-timeout bounds each request's
+// whole speak-up exchange.
 //
 // With -attack, the bad clients run the named adversary strategy
 // (onoff, mimic, defector, flood, adaptive, poisson — the same
@@ -38,7 +48,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sync/atomic"
 	"time"
@@ -56,6 +68,7 @@ type classJSON struct {
 	Offered       uint64  `json:"offered"`
 	Served        uint64  `json:"served"`
 	Failed        uint64  `json:"failed"`
+	Retried       uint64  `json:"retried"`
 	SuccessRate   float64 `json:"success_rate"`
 	PaidBytes     int64   `json:"paid_bytes"`
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
@@ -109,6 +122,7 @@ func classSummary(cs []*loadgen.Client, elapsed time.Duration) classJSON {
 		out.Offered += c.Stats.Offered()
 		out.Served += c.Stats.Served.Load()
 		out.Failed += c.Stats.Failed.Load()
+		out.Retried += c.Stats.Retried.Load()
 		out.PaidBytes += c.Stats.PaidBytes.Load()
 		out.LatencyP50Ms = max(out.LatencyP50Ms, ms(c.Stats.Latency.Quantile(0.50)))
 		out.LatencyP90Ms = max(out.LatencyP90Ms, ms(c.Stats.Latency.Quantile(0.90)))
@@ -140,6 +154,10 @@ func main() {
 	attack := flag.String("attack", "", "adversary profile for the bad clients (see -attack list)")
 	aggro := flag.Float64("aggro", 1, "attack aggressiveness scale (with -attack)")
 	scenarioFile := flag.String("scenario", "", "scenario file supplying the client workload (disk path or embedded configs/ name); explicit flags override")
+	retryBudget := flag.Int("retry-budget", 0, "max re-issues per request after a retryable failure (transport error, 502/503/504, eviction)")
+	retryBase := flag.Duration("retry-base", 0, "backoff base between retries (default 200ms)")
+	retryCap := flag.Duration("retry-cap", 0, "backoff cap between retries (default 5s)")
+	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline covering the whole speak-up exchange (0 = none)")
 	flag.Parse()
 
 	if *attack == "list" {
@@ -273,12 +291,26 @@ func main() {
 	}
 	configHash := config.ShortHash(effective)
 
+	// Fail fast if the front is not there at all: a generator pointed at
+	// nothing would otherwise run the full duration reporting 0/0. Any
+	// HTTP response — even a brownout 503 — counts as reachable; only a
+	// transport-level failure aborts.
+	probe := &http.Client{Timeout: 5 * time.Second}
+	if resp, err := probe.Get(*url + "/healthz"); err != nil {
+		log.Fatalf("front unreachable: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
 	var ids atomic.Uint64
 	var good, bad []*loadgen.Client
 	for i := 0; i < nG; i++ {
 		c := loadgen.NewClient(loadgen.Config{
 			BaseURL: *url, Lambda: goodLambda, Window: goodWindow, Good: true,
 			UploadBits: goodBW, PostBytes: postBytes, Seed: int64(i + 1),
+			RetryBudget: *retryBudget, RetryBase: *retryBase, RetryCap: *retryCap,
+			RequestTimeout: *reqTimeout,
 		}, &ids)
 		good = append(good, c)
 		c.Run()
@@ -287,6 +319,8 @@ func main() {
 		cfg := loadgen.Config{
 			BaseURL: *url, Lambda: badLambda, Window: badWindow, Good: false,
 			UploadBits: badBW, PostBytes: postBytes, Seed: int64(1000 + i),
+			RetryBudget: *retryBudget, RetryBase: *retryBase, RetryCap: *retryCap,
+			RequestTimeout: *reqTimeout,
 		}
 		if atk != "" {
 			cfg.Strategy = spec.New(cohort)
@@ -346,6 +380,10 @@ func main() {
 	if sum.Good.Issued > 0 && sum.Bad.Issued > 0 {
 		fmt.Printf("per-request success: good %.2f vs bad %.2f\n",
 			sum.Good.SuccessRate, sum.Bad.SuccessRate)
+	}
+	if sum.Good.Retried+sum.Bad.Retried > 0 {
+		fmt.Printf("retries: good %d, bad %d (budget %d)\n",
+			sum.Good.Retried, sum.Bad.Retried, *retryBudget)
 	}
 	fmt.Printf("throughput: %.1f admissions/sec, payment ingest %.1f Mbit/s\n",
 		sum.AdmissionsPerSec, sum.PaymentBitsPerSec/1e6)

@@ -26,7 +26,8 @@
 //
 // Experiments: fig2 fig3 fig4 fig5 sec74 window fig6 fig7 fig8 fig9
 // variants theorem hetero postsize parconns sec81 flashcrowd
-// adversary. See EXPERIMENTS.md for the paper-vs-measured record.
+// adversary faults. See EXPERIMENTS.md for the paper-vs-measured
+// record.
 package main
 
 import (
@@ -161,6 +162,11 @@ func run() int {
 		{"flashcrowd", func() { fmt.Println(exp.FlashCrowd(o).Table()) }},
 		{"adversary", func() {
 			r := exp.Adversary(o)
+			fmt.Println(r.Table())
+			fmt.Println(r.FrontierTable())
+		}},
+		{"faults", func() {
+			r := exp.Faults(o)
 			fmt.Println(r.Table())
 			fmt.Println(r.FrontierTable())
 		}},

@@ -7,6 +7,16 @@
 //	thinnerd [-addr :8080] [-capacity 10] [-orphan 10s]
 //	         [-scenario live_default] [-shards 0] [-drain 15s]
 //	         [-pprof localhost:6060]
+//	         [-fault-drop 0.1] [-fault-delay 50ms] [-fault-reset 0.01]
+//	         [-fault-seed 1]
+//
+// The -fault-* flags wrap the listener in a fault injector for
+// resilience testing: accepted connections are dropped outright with
+// probability -fault-drop, reads are delayed by up to -fault-delay,
+// and connections are reset mid-stream (payment POSTs included) with
+// per-read probability -fault-reset — all deterministic in
+// -fault-seed. /healthz reports readiness (listener up, sweep chain
+// alive, origin reachable) for probes and orchestration.
 //
 // -scenario loads capacity and the thinner knobs from a declarative
 // scenario file (the internal/config schema shared with cmd/repro and
@@ -37,6 +47,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only on -pprof
 	"os"
@@ -58,6 +69,10 @@ func main() {
 	shards := flag.Int("shards", 0, "bid-table shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060)")
+	faultDrop := flag.Float64("fault-drop", 0, "probability an accepted connection is dropped immediately")
+	faultDelay := flag.Duration("fault-delay", 0, "max random extra delay injected per read")
+	faultReset := flag.Float64("fault-reset", 0, "per-read probability a connection is reset mid-stream")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the listener fault injector")
 	flag.Parse()
 
 	capRPS := *capacity
@@ -128,11 +143,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cf := speakup.ConnFaults{
+		DropProb: *faultDrop, Delay: *faultDelay, ResetProb: *faultReset, Seed: *faultSeed,
+	}
+	if cf.Enabled() {
+		ln = speakup.WrapFaultListener(ln, cf)
+		log.Printf("fault injection armed: drop=%.3g delay<=%s reset=%.3g seed=%d",
+			cf.DropProb, cf.Delay, cf.ResetProb, cf.Seed)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s, %d ingest shards)",
 		*addr, capRPS, front.Table().Shards())
-	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /telemetry  /control/config")
+	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /healthz  /telemetry  /control/config")
 
 	select {
 	case err := <-errc:

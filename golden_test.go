@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"speakup/internal/appsim"
+	"speakup/internal/faults"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
 )
@@ -145,6 +146,31 @@ func TestGoldenScenarios(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Errorf("digest diverged from golden engine output\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenNoopFaultPlan pins the fault subsystem's zero-cost
+// contract: a configured-but-empty fault plan must leave every figure
+// golden byte-identical to the no-plan engine. The fault machinery
+// (link fault pointers, brownout ladder, retry hooks) may only change
+// behaviour when a plan actually schedules events.
+func TestGoldenNoopFaultPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios take a few seconds; skipped with -short")
+	}
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg.Faults = faults.Plan{}
+			got := digest(scenario.Run(cfg))
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenScenarios with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("empty fault plan changed the model\n--- got ---\n%s--- want ---\n%s", got, want)
 			}
 		})
 	}

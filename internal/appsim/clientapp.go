@@ -96,7 +96,18 @@ func NewClientApp(stack *tcpsim.Stack, workload *clients.Client, thinner netsim.
 		reqs:     make(map[core.RequestID]*clientReq),
 	}
 	workload.Issue = a.issue
+	workload.Abandon = a.abandon
 	return a
+}
+
+// abandon tears down a deadline-expired request's half-open exchange;
+// finish reports the failure to the workload, which may retry it.
+func (a *ClientApp) abandon(id core.RequestID) {
+	if r, ok := a.reqs[id]; ok {
+		a.finish(r, false)
+		return
+	}
+	a.Workload.RequestFailed(id)
 }
 
 // issue opens the request connection and sends the initial GET.

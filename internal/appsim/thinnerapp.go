@@ -101,6 +101,10 @@ func NewThinnerApp(stack *tcpsim.Stack, clock core.Clock, srv *server.Server, cf
 			a.respond(id)
 			a.off.ServerDone()
 		}
+		srv.Failed = func(id core.RequestID) {
+			a.failRequest(id)
+			a.off.ServerDone()
+		}
 	case ModeAuction:
 		a.auction = core.NewThinner(clock, cfg.Thinner)
 		a.auction.Admit = a.admit
@@ -112,8 +116,19 @@ func NewThinnerApp(stack *tcpsim.Stack, clock core.Clock, srv *server.Server, cf
 				}
 			}
 		}
+		// Brownout shed: answer busy instead of stranding the client as
+		// a silent waiter; a retrying client backs off and re-offers.
+		a.auction.Shed = func(id core.RequestID) { a.replyAndForget(id, kindBusy, a.sizes.Busy) }
 		srv.Done = func(id core.RequestID) {
 			a.respond(id)
+			a.auction.ServerDone()
+		}
+		srv.Failed = func(id core.RequestID) {
+			// Crash: the in-flight request is gone; the closed
+			// connection tells the client. ServerDone releases the busy
+			// latch — the brownout ladder defers the next auction until
+			// the origin is back.
+			a.failRequest(id)
 			a.auction.ServerDone()
 		}
 	case ModeRandomDrop:
@@ -123,6 +138,10 @@ func NewThinnerApp(stack *tcpsim.Stack, clock core.Clock, srv *server.Server, cf
 		a.rdrop.Retry = func(id core.RequestID) { a.reply(id, kindRetry, a.sizes.Retry) }
 		srv.Done = func(id core.RequestID) {
 			a.respond(id)
+			a.rdrop.ServerDone()
+		}
+		srv.Failed = func(id core.RequestID) {
+			a.failRequest(id)
 			a.rdrop.ServerDone()
 		}
 	case ModeHetero:
@@ -157,6 +176,10 @@ func NewThinnerApp(stack *tcpsim.Stack, clock core.Clock, srv *server.Server, cf
 		a.prof.Drop = func(id core.RequestID) { a.replyAndForget(id, kindBusy, a.sizes.Busy) }
 		srv.Done = func(id core.RequestID) {
 			a.respond(id)
+			a.prof.ServerDone()
+		}
+		srv.Failed = func(id core.RequestID) {
+			a.failRequest(id)
 			a.prof.ServerDone()
 		}
 	default:
@@ -215,6 +238,18 @@ func (a *ThinnerApp) reply(id core.RequestID, kind msgKind, size int) {
 func (a *ThinnerApp) replyAndForget(id core.RequestID, kind msgKind, size int) {
 	a.reply(id, kind, size)
 	delete(a.reqConns, id)
+}
+
+// failRequest tears down a request the origin lost in a crash: the
+// closed request connection is how the client learns.
+func (a *ThinnerApp) failRequest(id core.RequestID) {
+	a.closePayment(id)
+	if conn, ok := a.reqConns[id]; ok {
+		if !conn.Closed() {
+			conn.Close()
+		}
+		delete(a.reqConns, id)
+	}
 }
 
 // closePayment tears down all payment channels for id.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"speakup/internal/core"
+	"speakup/internal/faults"
 )
 
 // Pacer drives arrival pacing and windowing dynamically; the
@@ -47,6 +48,21 @@ type Config struct {
 	Good bool
 	// Seed seeds this client's arrival process.
 	Seed int64
+
+	// RetryBudget, when positive, re-issues a failed request up to
+	// this many times with jittered exponential backoff before
+	// counting it Failed — the hardened-client behaviour fault plans
+	// assume. Zero (the default) fails immediately, preserving the
+	// original model and its goldens.
+	RetryBudget int
+	// RetryBackoff tunes the retry pacing (zero fields take the
+	// faults package defaults: 200ms base, 5s cap).
+	RetryBackoff faults.Backoff
+	// Deadline abandons a request still outstanding after this long:
+	// the Abandon callback (or, absent one, the failure path) runs,
+	// freeing the window slot instead of letting a stranded transport
+	// pin it forever. Zero disables deadlines.
+	Deadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,10 +75,12 @@ func (c Config) withDefaults() Config {
 // Stats counts per-client workload outcomes.
 type Stats struct {
 	Generated uint64 // Poisson arrivals
-	Issued    uint64 // handed to the transport
+	Issued    uint64 // handed to the transport (fresh requests)
 	Served    uint64
 	Failed    uint64 // explicit failures (e.g. OFF-mode busy replies)
 	Denied    uint64 // backlog timeouts (the paper's "service denial")
+	Retried   uint64 // failed attempts re-issued under the retry budget
+	Abandoned uint64 // attempts that hit the per-request deadline
 }
 
 // Offered returns the demand the client actually presented: requests
@@ -88,10 +106,18 @@ type Client struct {
 	stopArrival func()
 	arrivalFn   func() // built once; rescheduled every arrival
 
+	retries   map[core.RequestID]int    // attempts burned per in-flight id (retry mode only)
+	deadlines map[core.RequestID]func() // pending deadline cancels (deadline mode only)
+
 	// Issue starts the protocol exchange for a fresh request.
 	Issue func(id core.RequestID)
 	// OnDenial, if set, observes backlog timeouts.
 	OnDenial func(id core.RequestID)
+	// Abandon, if set, is called when a request hits its Deadline so
+	// the transport can tear down its half-open exchange; the
+	// transport must then report RequestFailed (which may retry).
+	// Without it the deadline fails the request directly.
+	Abandon func(id core.RequestID)
 }
 
 // New creates a client. nextID must return process-unique request IDs
@@ -182,6 +208,32 @@ func (c *Client) issue(id core.RequestID) {
 	if c.Issue != nil {
 		c.Issue(id)
 	}
+	c.armDeadline(id)
+}
+
+func (c *Client) armDeadline(id core.RequestID) {
+	if c.cfg.Deadline <= 0 {
+		return
+	}
+	if c.deadlines == nil {
+		c.deadlines = make(map[core.RequestID]func())
+	}
+	c.deadlines[id] = c.clock.After(c.cfg.Deadline, func() {
+		delete(c.deadlines, id)
+		c.stats.Abandoned++
+		if c.Abandon != nil {
+			c.Abandon(id) // transport tears down, then reports RequestFailed
+			return
+		}
+		c.RequestFailed(id)
+	})
+}
+
+func (c *Client) disarmDeadline(id core.RequestID) {
+	if cancel, ok := c.deadlines[id]; ok {
+		cancel()
+		delete(c.deadlines, id)
+	}
 }
 
 // expireBacklog denies queue entries older than the timeout. Entries
@@ -208,12 +260,47 @@ func (c *Client) expireBacklog() {
 // RequestServed reports a completed request; a backlog entry (if any)
 // is issued in its place.
 func (c *Client) RequestServed(id core.RequestID) {
+	c.disarmDeadline(id)
+	if c.retries != nil {
+		delete(c.retries, id)
+	}
 	c.stats.Served++
 	c.completeOne()
 }
 
-// RequestFailed reports an explicitly failed request (OFF-mode drop).
+// RequestFailed reports an explicitly failed request attempt (an
+// OFF-mode drop, a crashed origin, an abandoned deadline). With a
+// retry budget the request is re-issued after a jittered exponential
+// backoff — its window slot stays held, so a retrying client offers
+// no more concurrency than a healthy one. Budget exhausted (or no
+// budget), the request is counted Failed and the slot freed.
 func (c *Client) RequestFailed(id core.RequestID) {
+	c.disarmDeadline(id)
+	if c.cfg.RetryBudget > 0 && !c.stopped {
+		if c.retries == nil {
+			c.retries = make(map[core.RequestID]int)
+		}
+		attempt := c.retries[id]
+		if attempt < c.cfg.RetryBudget {
+			c.retries[id] = attempt + 1
+			c.stats.Retried++
+			c.clock.After(c.cfg.RetryBackoff.Delay(attempt, c.rng), func() {
+				if c.stopped {
+					// The run is winding down: release the slot
+					// instead of re-entering the transport.
+					c.stats.Failed++
+					c.completeOne()
+					return
+				}
+				if c.Issue != nil {
+					c.Issue(id)
+				}
+				c.armDeadline(id)
+			})
+			return
+		}
+		delete(c.retries, id)
+	}
 	c.stats.Failed++
 	c.completeOne()
 }

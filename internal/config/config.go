@@ -32,6 +32,7 @@ import (
 
 	"speakup/internal/appsim"
 	"speakup/internal/core"
+	"speakup/internal/faults"
 	"speakup/internal/scenario"
 )
 
@@ -97,6 +98,11 @@ type Scenario struct {
 	Hetero     *Hetero     `json:"hetero,omitempty"`
 	RandomDrop *RandomDrop `json:"random_drop,omitempty"`
 	Profiler   *Profiler   `json:"profiler,omitempty"`
+
+	// Faults is the deterministic fault-injection plan (internal/faults):
+	// each event is kind × target × window × magnitude. Absent means no
+	// faults — the original model, byte for byte.
+	Faults []Fault `json:"faults,omitempty"`
 }
 
 // ClientGroup mirrors scenario.ClientGroup.
@@ -113,6 +119,24 @@ type ClientGroup struct {
 	Bottleneck     int      `json:"bottleneck,omitempty"`
 	PayConns       int      `json:"pay_conns,omitempty"`
 	Work           Duration `json:"work,omitempty"`
+	RetryBudget    int      `json:"retry_budget,omitempty"`
+	RetryBase      Duration `json:"retry_base,omitempty"`
+	RetryCap       Duration `json:"retry_cap,omitempty"`
+	Deadline       Duration `json:"deadline,omitempty"`
+}
+
+// Fault mirrors faults.Event — one scheduled failure. Kinds:
+// "link-loss" (magnitude = drop probability), "link-jitter"
+// (magnitude = max extra delay in seconds), "partition", and the
+// targetless "origin-stall" and "origin-crash". Link targets are
+// "trunk", "access:<group>", or "bottleneck:<n>".
+type Fault struct {
+	Kind      string   `json:"kind"`
+	Target    string   `json:"target,omitempty"`
+	At        Duration `json:"at,omitempty"`
+	Duration  Duration `json:"duration"`
+	Magnitude float64  `json:"magnitude,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
 }
 
 // Bottleneck mirrors scenario.Bottleneck.
@@ -262,6 +286,20 @@ func FromScenario(sc scenario.Config) Scenario {
 			Bottleneck:     g.Bottleneck,
 			PayConns:       g.PayConns,
 			Work:           Duration(g.Work),
+			RetryBudget:    g.RetryBudget,
+			RetryBase:      Duration(g.RetryBase),
+			RetryCap:       Duration(g.RetryCap),
+			Deadline:       Duration(g.Deadline),
+		})
+	}
+	for _, f := range sc.Faults {
+		s.Faults = append(s.Faults, Fault{
+			Kind:      string(f.Kind),
+			Target:    f.Target,
+			At:        Duration(f.At),
+			Duration:  Duration(f.Duration),
+			Magnitude: f.Magnitude,
+			Seed:      f.Seed,
 		})
 	}
 	for _, b := range sc.Bottlenecks {
@@ -357,6 +395,20 @@ func (s Scenario) Config() (scenario.Config, error) {
 			Bottleneck:     g.Bottleneck,
 			PayConns:       g.PayConns,
 			Work:           g.Work.D(),
+			RetryBudget:    g.RetryBudget,
+			RetryBase:      g.RetryBase.D(),
+			RetryCap:       g.RetryCap.D(),
+			Deadline:       g.Deadline.D(),
+		})
+	}
+	for _, f := range s.Faults {
+		sc.Faults = append(sc.Faults, faults.Event{
+			Kind:      faults.Kind(f.Kind),
+			Target:    f.Target,
+			At:        f.At.D(),
+			Duration:  f.Duration.D(),
+			Magnitude: f.Magnitude,
+			Seed:      f.Seed,
 		})
 	}
 	for _, b := range s.Bottlenecks {

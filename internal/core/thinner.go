@@ -54,8 +54,44 @@ type Stats struct {
 	AdmittedDirect uint64 // of those, admitted with no auction (server free)
 	Auctions       uint64 // auctions held
 	Evicted        uint64 // payment channels terminated by timeout
+	Shed           uint64 // arrivals refused during an origin brownout
+	Brownouts      uint64 // times the origin-health ladder left HealthOK
 	WastedBytes    int64  // payment bytes of evicted channels
 	PaidBytes      int64  // payment bytes of auction winners (the prices)
+}
+
+// HealthState is the origin-health brownout ladder. The thinner's job
+// during an origin outage is to keep its constituency intact: paying
+// contenders keep their accumulated balances, admitted-but-unserved
+// work is not abandoned, and new arrivals are shed fast with a
+// retry-later signal instead of being stranded as waiters.
+type HealthState int32
+
+const (
+	// HealthOK: the origin is answering; normal auction operation.
+	HealthOK HealthState = iota
+	// HealthStalled: the origin is unresponsive. Auctions pause (no
+	// point admitting into a black hole), timeout evictions are held
+	// (the outage is not the contenders' fault), and new arrivals are
+	// shed with a retry signal.
+	HealthStalled
+	// HealthRecovering: the origin is back. Admissions and auctions
+	// flow again, but evictions stay held for one OrphanTimeout of
+	// grace so channels whose payment streams died during the outage
+	// can re-establish before the sweep judges them.
+	HealthRecovering
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthStalled:
+		return "stalled"
+	case HealthRecovering:
+		return "recovering"
+	}
+	return fmt.Sprintf("HealthState(%d)", int32(h))
 }
 
 // Thinner is the virtual-auction front-end of §3.3.
@@ -76,6 +112,10 @@ type Thinner struct {
 	goingRate  int64     // winning bid of the most recent auction
 	lastWinner RequestID // id of the most recent auction winner
 
+	health    HealthState
+	holdUntil time.Duration // HealthRecovering: evictions held until here
+	lastSweep time.Duration // when the sweep chain last ticked (liveness probe)
+
 	stopSweep func()
 	sweepGen  uint64      // invalidates fired-but-unrun sweep timers on Reconfigure
 	sweepIDs  []RequestID // reused eviction buffer; sweep is single-goroutine
@@ -95,6 +135,10 @@ type Thinner struct {
 	// sending. Called for auction winners (stop paying, you're in) and
 	// for timed-out channels. wasted is true for timeouts.
 	Evict func(id RequestID, paid int64, wasted bool)
+	// Shed, if set, is told about requests refused during an origin
+	// brownout (HealthStalled) so the application can answer
+	// retry-later instead of leaving the client waiting.
+	Shed func(id RequestID)
 }
 
 // NewThinner creates a virtual-auction thinner and starts its timeout
@@ -102,6 +146,7 @@ type Thinner struct {
 func NewThinner(clock Clock, cfg Config) *Thinner {
 	cfg = cfg.withDefaults()
 	t := &Thinner{clock: clock, cfg: cfg, table: NewBidTable(cfg.Shards)}
+	t.lastSweep = clock.Now()
 	// Align the table's inactivity wheel with the sweep's cutoff so
 	// deadline checks fire exactly when channels come due.
 	t.table.SetInactivityTimeout(cfg.InactivityTimeout)
@@ -183,10 +228,71 @@ func (t *Thinner) Stop() {
 	}
 }
 
+// Health returns the origin-health brownout state. Read it, like the
+// other control-path accessors, from the control goroutine (or under
+// the control lock).
+func (t *Thinner) Health() HealthState { return t.health }
+
+// LastSweepAge returns how long ago the timeout sweeper last ticked —
+// the /healthz liveness signal for the sweep chain.
+func (t *Thinner) LastSweepAge() time.Duration { return t.clock.Now() - t.lastSweep }
+
+// SetOriginStalled moves the brownout ladder: true enters
+// HealthStalled (auctions pause, arrivals shed, evictions held);
+// false begins HealthRecovering — a deferred auction runs immediately
+// if the origin is free, and evictions stay held for one
+// OrphanTimeout of grace before the sweep returns to HealthOK.
+// Call it from the control path, like RequestArrived.
+func (t *Thinner) SetOriginStalled(stalled bool) {
+	if stalled {
+		if t.health == HealthStalled {
+			return
+		}
+		t.health = HealthStalled
+		t.stats.Brownouts++
+		if t.Metrics != nil {
+			t.Metrics.RecordBrownout(int32(HealthStalled))
+		}
+		return
+	}
+	if t.health != HealthStalled {
+		return
+	}
+	t.health = HealthRecovering
+	t.holdUntil = t.clock.Now() + t.cfg.OrphanTimeout
+	if t.Metrics != nil {
+		t.Metrics.RecordHealth(int32(HealthRecovering))
+	}
+	if !t.busy {
+		// The auction the brownout deferred: contenders kept paying
+		// into the held table; settle the backlog now.
+		t.auctionNext()
+	}
+}
+
+// ShedArrival records one refused-during-brownout arrival. The live
+// front calls it directly (it answers the HTTP side itself);
+// RequestArrived uses it for the simulator path.
+func (t *Thinner) ShedArrival(id RequestID) {
+	t.stats.Shed++
+	if t.Metrics != nil {
+		t.Metrics.RecordShed(uint64(id))
+	}
+}
+
 // RequestArrived processes a client request message. If the server is
 // free it is admitted immediately; otherwise the client becomes an
-// eligible contender and is encouraged to pay.
+// eligible contender and is encouraged to pay. During an origin
+// brownout the request is shed instead: stranding it as a waiter
+// would just grow a queue the origin cannot drain.
 func (t *Thinner) RequestArrived(id RequestID) {
+	if t.health == HealthStalled {
+		t.ShedArrival(id)
+		if t.Shed != nil {
+			t.Shed(id)
+		}
+		return
+	}
 	if !t.busy {
 		t.busy = true
 		// Any pre-paid bytes count as its price.
@@ -217,9 +323,18 @@ func (t *Thinner) PaymentReceived(id RequestID, bytes int64) {
 
 // ServerDone signals that the server finished a request. The thinner
 // holds the virtual auction: the highest-paid eligible contender is
-// admitted and its payment channel terminated.
+// admitted and its payment channel terminated. During an origin
+// brownout the auction is deferred — contenders keep their balances
+// and the settle runs when SetOriginStalled(false) reopens the floor.
 func (t *Thinner) ServerDone() {
 	t.busy = false
+	if t.health == HealthStalled {
+		return
+	}
+	t.auctionNext()
+}
+
+func (t *Thinner) auctionNext() {
 	id, _, ok := t.table.Winner()
 	if !ok {
 		return // no contenders; server idles until the next request
@@ -266,6 +381,21 @@ func (t *Thinner) scheduleSweep() {
 // allocate nothing.
 func (t *Thinner) sweep() {
 	now := t.clock.Now()
+	t.lastSweep = now
+	switch t.health {
+	case HealthStalled:
+		// Hold everything: the outage is the origin's fault, not the
+		// contenders'. Balances and waiters survive untouched.
+		return
+	case HealthRecovering:
+		if now < t.holdUntil {
+			return // grace window: let payment streams re-establish
+		}
+		t.health = HealthOK
+		if t.Metrics != nil {
+			t.Metrics.RecordHealth(int32(HealthOK))
+		}
+	}
 	ids := t.sweepIDs[:0]
 	ids = t.table.DueOrphans(ids, now-t.cfg.OrphanTimeout)
 	n := len(ids)

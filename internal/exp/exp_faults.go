@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"speakup/internal/faults"
+	"speakup/internal/metrics"
+	"speakup/internal/scenario"
+	"speakup/internal/sweep"
+)
+
+// FaultsPoint is one cell of the fault-injection sweep: one fault
+// kind at one intensity against one bad:good bandwidth ratio, plus
+// the fault-free baseline rows (Kind "none").
+type FaultsPoint struct {
+	Kind string
+	// Intensity labels the magnitude tier ("low"/"high"; "-" for the
+	// baseline). Magnitude is the kind-specific number behind it (drop
+	// probability, jitter seconds, or outage fraction of the run).
+	Intensity string
+	Magnitude float64
+	// BWRatio is the attackers' per-client access bandwidth as a
+	// multiple of the good clients' 2 Mbit/s.
+	BWRatio float64
+
+	FracGoodServed float64
+	// Retention is FracGoodServed relative to the fault-free baseline
+	// at the same bandwidth ratio (1 for the baseline rows themselves).
+	Retention      float64
+	GoodAllocation float64
+	// GoodRetried / GoodAbandoned count the good clients' re-issues and
+	// deadline expiries — the retry budget at work.
+	GoodRetried   uint64
+	GoodAbandoned uint64
+	// Shed counts arrivals turned away while the thinner was browned
+	// out (origin faults only).
+	Shed uint64
+}
+
+// FaultsFrontierRow is one fault kind's worst case across the scanned
+// grid — how much good service the hardened stack retains under its
+// nastiest cell.
+type FaultsFrontierRow struct {
+	Kind string
+	// Worst is the minimum retention across the kind's (intensity,
+	// bandwidth-ratio) cells; WorstIntensity and WorstBWRatio locate
+	// the minimizing cell.
+	Worst          float64
+	WorstIntensity string
+	WorstBWRatio   float64
+	// MeanRetention averages retention over the kind's cells.
+	MeanRetention float64
+}
+
+// FaultsResult holds the full grid and its frontier.
+type FaultsResult struct {
+	Points   []FaultsPoint
+	Frontier []FaultsFrontierRow
+	// Events is the total simulator events across the sweep.
+	Events uint64
+}
+
+// Table renders the full grid.
+func (r *FaultsResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Fault sweep: good service vs fault kind x intensity x bandwidth ratio (10 retrying good / 10 attackers, c=30)",
+		"fault", "intensity", "magnitude", "bw ratio", "frac good served", "retention", "good alloc", "retried", "abandoned", "shed")
+	for _, p := range r.Points {
+		t.AddRow(p.Kind, p.Intensity, p.Magnitude, p.BWRatio, p.FracGoodServed,
+			p.Retention, p.GoodAllocation, p.GoodRetried, p.GoodAbandoned, p.Shed)
+	}
+	return t
+}
+
+// FrontierTable renders the per-kind worst case: the robustness claim
+// under infrastructure failure — a browned-out thinner plus retrying
+// clients should degrade good service gracefully, not collapse it.
+func (r *FaultsResult) FrontierTable() *metrics.Table {
+	t := metrics.NewTable(
+		"Fault frontier: worst-case good-service retention per fault kind",
+		"fault", "worst retention", "at intensity", "at bw ratio", "mean retention")
+	for _, f := range r.Frontier {
+		t.AddRow(f.Kind, f.Worst, f.WorstIntensity, f.WorstBWRatio, f.MeanRetention)
+	}
+	return t
+}
+
+// faultKinds are the scanned failure modes, in table order.
+var faultKinds = []faults.Kind{
+	faults.LinkLoss, faults.LinkJitter, faults.Partition,
+	faults.OriginStall, faults.OriginCrash,
+}
+
+// faultEvent builds the one-event plan for a grid cell. The window
+// opens a sixth of the way into the run; link-quality faults (loss,
+// jitter) hold for half the run, while outage faults (partition,
+// stall, crash) last mag·run — their magnitude IS the outage length,
+// since a partition's only intensity is how long it lasts.
+func faultEvent(kind faults.Kind, mag float64, run time.Duration) faults.Event {
+	ev := faults.Event{Kind: kind, At: run / 6, Magnitude: mag}
+	switch kind {
+	case faults.LinkLoss, faults.LinkJitter:
+		ev.Target = faults.TargetTrunk
+		ev.Duration = run / 2
+	case faults.Partition:
+		ev.Target = "access:good"
+		ev.Duration = time.Duration(mag * float64(run))
+		ev.Magnitude = 0
+	case faults.OriginStall, faults.OriginCrash:
+		ev.Duration = time.Duration(mag * float64(run))
+		ev.Magnitude = 0
+	}
+	return ev
+}
+
+// faultMagnitudes gives each kind its low/high intensity pair.
+func faultMagnitudes(kind faults.Kind) [2]float64 {
+	switch kind {
+	case faults.LinkLoss:
+		return [2]float64{0.05, 0.30} // drop probability
+	case faults.LinkJitter:
+		return [2]float64{0.05, 0.50} // max extra delay, seconds
+	default:
+		return [2]float64{1. / 6, 1. / 3} // outage as a fraction of the run
+	}
+}
+
+// faultRatios is the scanned bandwidth-ratio axis.
+var faultRatios = []float64{1, 2}
+
+// Faults sweeps the fault-injection plan over every failure mode at
+// two intensities and two bad:good bandwidth ratios, against the
+// hardened population of configs/faults.json (good clients retry with
+// bounded jittered backoff and carry per-request deadlines; the
+// thinner browns out and recovers around origin faults). Each ratio
+// also runs fault-free to anchor retention: the headline number is
+// the fraction of baseline good service each fault cell keeps.
+func Faults(o Opts) *FaultsResult {
+	o = o.withDefaults()
+	base := o.base("faults.json")
+	intensities := []string{"low", "high"}
+	var g sweep.Grid
+	type gridCell struct {
+		kind      string
+		intensity string
+		mag       float64
+		ratio     float64
+	}
+	var cells []gridCell
+	// Baselines first so retention is computable in one pass.
+	baseIdx := make(map[float64]int)
+	for _, r := range faultRatios {
+		ratio := r
+		baseIdx[r] = g.Add(fmt.Sprintf("faults/none/bw=%gx", r), cell(base, func(c *scenario.Config) {
+			c.Groups[1].Bandwidth = 2e6 * ratio
+		}))
+		cells = append(cells, gridCell{kind: "none", intensity: "-", ratio: r})
+	}
+	for _, k := range faultKinds {
+		mags := faultMagnitudes(k)
+		for mi, label := range intensities {
+			for _, r := range faultRatios {
+				kind, mag, ratio := k, mags[mi], r
+				g.Add(fmt.Sprintf("faults/%s/%s/bw=%gx", k, label, r), cell(base, func(c *scenario.Config) {
+					c.Groups[1].Bandwidth = 2e6 * ratio
+					c.Faults = faults.Plan{faultEvent(kind, mag, c.Duration)}
+				}))
+				cells = append(cells, gridCell{kind: string(k), intensity: label, mag: mag, ratio: r})
+			}
+		}
+	}
+	rs := o.sweepGrid(&g)
+	baseline := make(map[float64]float64)
+	for r, i := range baseIdx {
+		baseline[r] = rs[i].Result.FractionGoodServed
+	}
+	res := &FaultsResult{}
+	for i, sr := range rs {
+		c, r := cells[i], sr.Result
+		good := &r.Groups[0]
+		p := FaultsPoint{
+			Kind:           c.kind,
+			Intensity:      c.intensity,
+			Magnitude:      c.mag,
+			BWRatio:        c.ratio,
+			FracGoodServed: r.FractionGoodServed,
+			Retention:      1,
+			GoodAllocation: r.GoodAllocation,
+			GoodRetried:    good.Retried,
+			GoodAbandoned:  good.Abandoned,
+			Shed:           r.ThinnerStats.Shed,
+		}
+		if b := baseline[c.ratio]; c.kind != "none" && b > 0 {
+			p.Retention = r.FractionGoodServed / b
+		}
+		res.Points = append(res.Points, p)
+		res.Events += r.Events
+	}
+	for _, k := range faultKinds {
+		row := FaultsFrontierRow{Kind: string(k), Worst: 2}
+		n := 0
+		for _, p := range res.Points {
+			if p.Kind != string(k) {
+				continue
+			}
+			if p.Retention < row.Worst {
+				row.Worst = p.Retention
+				row.WorstIntensity = p.Intensity
+				row.WorstBWRatio = p.BWRatio
+			}
+			row.MeanRetention += p.Retention
+			n++
+		}
+		row.MeanRetention /= float64(n)
+		res.Frontier = append(res.Frontier, row)
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateFaultsGolden = flag.Bool("update-faults-golden", false,
+	"rewrite testdata/golden/faults_frontier.txt")
+
+// TestFaultsSweepDeterminism reruns the fault-injection sweep serially
+// and with 8 workers: every point and frontier row must be
+// bit-identical. Beyond the usual sweep-engine guarantee this covers
+// the per-event fault RNG streams being derived purely from (scenario
+// seed, event index, event seed) — never from worker scheduling.
+func TestFaultsSweepDeterminism(t *testing.T) {
+	serialOpts, parallelOpts := goldenOpts, goldenOpts
+	serialOpts.Workers = 1
+	parallelOpts.Workers = 8
+	serial := Faults(serialOpts)
+	parallel := Faults(parallelOpts)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("faults sweep differs by worker count:\nserial:   %+v\nparallel: %+v",
+			serial.Points, parallel.Points)
+	}
+}
+
+// TestFaultsFrontierGolden pins the rendered grid and frontier tables
+// byte-for-byte. Regenerate (only when an intentional model change
+// lands) with:
+//
+//	go test ./internal/exp -run TestFaultsFrontierGolden -update-faults-golden
+func TestFaultsFrontierGolden(t *testing.T) {
+	skipIfShort(t)
+	r := Faults(goldenOpts)
+	got := r.Table().String() + "\n" + r.FrontierTable().String()
+	path := filepath.Join("testdata", "golden", "faults_frontier.txt")
+	if *updateFaultsGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-faults-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fault frontier diverged from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFaultsShape asserts the sweep's qualitative claims: the grid is
+// complete (baselines + every kind x intensity x ratio), baselines
+// anchor retention at exactly 1, and no fault kind collapses good
+// service outright — the hardened stack (retrying clients, brownout
+// ladder) has to degrade gracefully, not fall over.
+func TestFaultsShape(t *testing.T) {
+	skipIfShort(t)
+	r := Faults(short)
+	wantCells := len(faultRatios) + len(faultKinds)*2*len(faultRatios)
+	if len(r.Points) != wantCells {
+		t.Fatalf("points = %d, want %d", len(r.Points), wantCells)
+	}
+	if len(r.Frontier) != len(faultKinds) {
+		t.Fatalf("frontier rows = %d, want %d", len(r.Frontier), len(faultKinds))
+	}
+	for _, p := range r.Points {
+		if p.Kind == "none" {
+			if p.Retention != 1 {
+				t.Errorf("baseline bw=%gx: retention %.3f, want 1", p.BWRatio, p.Retention)
+			}
+			if p.FracGoodServed <= 0.5 {
+				t.Errorf("baseline bw=%gx: frac good served %.3f — the fault-free anchor itself is broken", p.BWRatio, p.FracGoodServed)
+			}
+		}
+	}
+	for _, f := range r.Frontier {
+		if f.Worst <= 0 || f.Worst > 1.5 {
+			t.Errorf("%s: worst retention %.3f out of range", f.Kind, f.Worst)
+		}
+		// A third-of-the-run outage can cost a third of the service (plus
+		// collateral), but nothing should zero it.
+		if f.Worst < 0.2 {
+			t.Errorf("%s: worst-case retention %.3f — graceful degradation broken", f.Kind, f.Worst)
+		}
+	}
+	// Origin faults must actually exercise the brownout ladder: with
+	// arrivals flowing while auctions pause, shed must be nonzero.
+	for _, p := range r.Points {
+		if (p.Kind == string("origin-stall") || p.Kind == string("origin-crash")) && p.Shed == 0 {
+			t.Errorf("%s %s bw=%gx: no arrivals shed during brownout", p.Kind, p.Intensity, p.BWRatio)
+		}
+	}
+}

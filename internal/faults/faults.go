@@ -1,0 +1,206 @@
+// Package faults is the deterministic fault-injection plan shared by
+// both thinner stacks. A Plan is a schedule of Events — fault kind ×
+// target × window × magnitude — declared in a scenario file (the
+// internal/config schema) and executed by the simulator's event loop,
+// so the same seed and plan always reproduce the same outage. The
+// package also carries the two live-side pieces: a fault-injecting
+// net.Listener wrapper for thinnerd (live.go) and the bounded,
+// jittered exponential Backoff policy that hardened clients (sim and
+// cmd/loadgen alike) use to ride out the injected failures.
+//
+// A nil or empty Plan is the common case and is free: no code path in
+// netsim, server, or core consults fault state unless a plan armed it,
+// which is what keeps the figure goldens byte-identical when no plan
+// is configured.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind names one class of injected failure.
+type Kind string
+
+const (
+	// LinkLoss drops packets entering the target link with probability
+	// Magnitude (0..1) for the event window.
+	LinkLoss Kind = "link-loss"
+	// LinkJitter adds uniform random extra propagation delay of up to
+	// Magnitude seconds per packet on the target link. Delivery order
+	// on the link is preserved (jitter never reorders).
+	LinkJitter Kind = "link-jitter"
+	// Partition drops every packet on the target link for the window —
+	// a hard cut. Magnitude is ignored.
+	Partition Kind = "partition"
+	// OriginStall freezes the origin server for the window: the
+	// in-flight request's completion is postponed by the stall, and the
+	// thinner browns out (auctions pause, arrivals shed).
+	OriginStall Kind = "origin-stall"
+	// OriginCrash kills the origin at At: the in-flight request is
+	// lost (the client sees a failure) and the origin restarts after
+	// Duration of downtime. Magnitude is ignored.
+	OriginCrash Kind = "origin-crash"
+)
+
+// Link targets, shared with the scenario topology. Origin events take
+// no target.
+const (
+	// TargetTrunk is the shared thinner uplink (both directions).
+	TargetTrunk = "trunk"
+	// TargetAccessPrefix + a group name targets that group's access
+	// links (both directions, every client in the group).
+	TargetAccessPrefix = "access:"
+	// TargetBottleneckPrefix + a 1-based index targets that shared
+	// bottleneck's links (both directions).
+	TargetBottleneckPrefix = "bottleneck:"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+	// Target selects what the fault hits. Link kinds require one of
+	// TargetTrunk, "access:<group>", or "bottleneck:<n>"; origin kinds
+	// must leave it empty.
+	Target string
+	// At is the injection time, relative to the run start.
+	At time.Duration
+	// Duration is the fault window; the fault reverts at At+Duration.
+	// Required for every kind (a crash's Duration is its downtime).
+	Duration time.Duration
+	// Magnitude is the kind-specific intensity: drop probability for
+	// LinkLoss, max extra delay in seconds for LinkJitter, unused
+	// otherwise.
+	Magnitude float64
+	// Seed perturbs the event's private RNG stream (loss and jitter
+	// draws) independently of the scenario seed. Optional.
+	Seed int64
+}
+
+// windowed reports whether the event reverts at At+Duration.
+func (e Event) needsMagnitude() bool { return e.Kind == LinkLoss || e.Kind == LinkJitter }
+
+// isLinkKind reports whether the event targets a link.
+func (e Event) isLinkKind() bool {
+	return e.Kind == LinkLoss || e.Kind == LinkJitter || e.Kind == Partition
+}
+
+// Validate checks one event against the scenario's shape: groups is
+// the set of client-group names, bottlenecks the number of declared
+// shared bottlenecks.
+func (e Event) Validate(groups map[string]bool, bottlenecks int) error {
+	switch e.Kind {
+	case LinkLoss, LinkJitter, Partition, OriginStall, OriginCrash:
+	default:
+		return fmt.Errorf("faults: unknown kind %q", e.Kind)
+	}
+	if e.At < 0 {
+		return fmt.Errorf("faults: %s at %v: negative injection time", e.Kind, e.At)
+	}
+	if e.Duration <= 0 {
+		return fmt.Errorf("faults: %s: duration must be positive (the fault window)", e.Kind)
+	}
+	if e.isLinkKind() {
+		if err := validTarget(e.Target, groups, bottlenecks); err != nil {
+			return fmt.Errorf("faults: %s: %w", e.Kind, err)
+		}
+	} else if e.Target != "" {
+		return fmt.Errorf("faults: %s: origin faults take no target (got %q)", e.Kind, e.Target)
+	}
+	switch e.Kind {
+	case LinkLoss:
+		if e.Magnitude <= 0 || e.Magnitude > 1 {
+			return fmt.Errorf("faults: link-loss magnitude %v: want a drop probability in (0, 1]", e.Magnitude)
+		}
+	case LinkJitter:
+		if e.Magnitude <= 0 {
+			return fmt.Errorf("faults: link-jitter magnitude %v: want max extra delay in seconds > 0", e.Magnitude)
+		}
+	}
+	return nil
+}
+
+func validTarget(target string, groups map[string]bool, bottlenecks int) error {
+	if target == TargetTrunk {
+		return nil
+	}
+	if g, ok := cutPrefix(target, TargetAccessPrefix); ok {
+		if !groups[g] {
+			return fmt.Errorf("target %q: no client group named %q", target, g)
+		}
+		return nil
+	}
+	if s, ok := cutPrefix(target, TargetBottleneckPrefix); ok {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 1 || n > bottlenecks {
+			return fmt.Errorf("target %q: want bottleneck:1..%d", target, bottlenecks)
+		}
+		return nil
+	}
+	return fmt.Errorf("target %q: want %q, %q<group>, or %q<n>",
+		target, TargetTrunk, TargetAccessPrefix, TargetBottleneckPrefix)
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// Plan is a schedule of fault events. The zero value (nil) means "no
+// faults" and costs nothing.
+type Plan []Event
+
+// Validate checks every event; see Event.Validate.
+func (p Plan) Validate(groups map[string]bool, bottlenecks int) error {
+	for i, e := range p {
+		if err := e.Validate(groups, bottlenecks); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Backoff is a bounded, jittered exponential retry policy ("equal
+// jitter"): attempt n sleeps uniformly in [d/2, d) for
+// d = min(Cap, Base·2ⁿ). The half-floor keeps retries from
+// synchronizing at zero while the jitter half decorrelates a fleet of
+// clients retrying into the same brownout.
+type Backoff struct {
+	// Base is the attempt-0 ceiling. Default 200ms.
+	Base time.Duration
+	// Cap bounds the exponential growth. Default 5s.
+	Cap time.Duration
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 200 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 5 * time.Second
+	}
+	return b
+}
+
+// Delay draws the sleep before retry attempt n (0-based) from rng.
+// The caller owns rng so simulation retries draw from the client's
+// deterministic stream and live retries from a wall-clock-seeded one.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.WithDefaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Cap; i++ {
+		d *= 2
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int63n(int64(half)))
+}

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventValidate(t *testing.T) {
+	groups := map[string]bool{"good": true, "bad": true}
+	ok := []Event{
+		{Kind: LinkLoss, Target: TargetTrunk, Duration: time.Second, Magnitude: 0.5},
+		{Kind: LinkLoss, Target: "access:good", Duration: time.Second, Magnitude: 1},
+		{Kind: LinkJitter, Target: "bottleneck:2", Duration: time.Second, Magnitude: 0.05},
+		{Kind: Partition, Target: "access:bad", Duration: time.Second},
+		{Kind: OriginStall, Duration: time.Second, At: 3 * time.Second},
+		{Kind: OriginCrash, Duration: time.Second},
+	}
+	for i, e := range ok {
+		if err := e.Validate(groups, 2); err != nil {
+			t.Errorf("event %d (%s): unexpected error %v", i, e.Kind, err)
+		}
+	}
+	bad := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: "meteor", Duration: time.Second}, "unknown kind"},
+		{Event{Kind: LinkLoss, Target: TargetTrunk, Magnitude: 0.5}, "duration"},
+		{Event{Kind: LinkLoss, Target: TargetTrunk, Duration: time.Second, Magnitude: 0}, "drop probability"},
+		{Event{Kind: LinkLoss, Target: TargetTrunk, Duration: time.Second, Magnitude: 1.5}, "drop probability"},
+		{Event{Kind: LinkJitter, Target: TargetTrunk, Duration: time.Second}, "extra delay"},
+		{Event{Kind: Partition, Target: "access:nobody", Duration: time.Second}, "no client group"},
+		{Event{Kind: Partition, Target: "bottleneck:3", Duration: time.Second}, "bottleneck:1..2"},
+		{Event{Kind: Partition, Target: "elsewhere", Duration: time.Second}, "want"},
+		{Event{Kind: OriginStall, Target: TargetTrunk, Duration: time.Second}, "no target"},
+		{Event{Kind: OriginStall, Duration: time.Second, At: -time.Second}, "negative"},
+	}
+	for i, tc := range bad {
+		err := tc.e.Validate(groups, 2)
+		if err == nil {
+			t.Errorf("case %d (%s): expected error containing %q, got nil", i, tc.e.Kind, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+	// Plan.Validate locates the offending event.
+	p := Plan{ok[0], bad[0].e}
+	if err := p.Validate(groups, 2); err == nil || !strings.Contains(err.Error(), "fault 1") {
+		t.Errorf("plan error %v does not locate fault 1", err)
+	}
+}
+
+// TestBackoffBounds checks the equal-jitter contract: attempt n sleeps
+// in [d/2, d) for d = min(Cap, Base*2^n), never zero, never past Cap.
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 12; attempt++ {
+		d := b.Base << attempt
+		if d > b.Cap || d <= 0 { // <= 0 guards shift overflow
+			d = b.Cap
+		}
+		for i := 0; i < 200; i++ {
+			got := b.Delay(attempt, rng)
+			if got < d/2 || got >= d {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	if b.Base != 200*time.Millisecond || b.Cap != 5*time.Second {
+		t.Fatalf("defaults = %+v", b)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if d := (Backoff{}).Delay(0, rng); d < 100*time.Millisecond || d >= 200*time.Millisecond {
+		t.Fatalf("zero-value Delay(0) = %v, want [100ms, 200ms)", d)
+	}
+}
+
+func TestWrapListenerZeroPassthrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := WrapListener(ln, ConnFaults{Seed: 7}); got != ln {
+		t.Fatalf("zero ConnFaults must return the listener unchanged, got %T", got)
+	}
+}
+
+// TestWrapListenerDrop arms DropProb=1: every accepted connection is
+// closed before the server sees it, and the client observes EOF/reset.
+func TestWrapListenerDrop(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, ConnFaults{DropProb: 1, Seed: 1})
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept() // blocks forever: every conn is dropped
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("read succeeded on a dropped connection")
+		}
+		c.Close()
+	}
+	select {
+	case <-accepted:
+		t.Fatal("a connection survived DropProb=1")
+	default:
+	}
+}
+
+// TestWrapListenerReset arms ResetProb=1: the first read tears the
+// connection down and the client's write side dies mid-stream.
+func TestWrapListenerReset(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, ConnFaults{ResetProb: 1, Seed: 1})
+	defer ln.Close()
+	errc := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Read(make([]byte, 64))
+		errc <- err
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("payment chunk"))
+	if err := <-errc; err != net.ErrClosed {
+		t.Fatalf("server read error = %v, want net.ErrClosed", err)
+	}
+}
+
+// TestWrapListenerDelay checks delayed reads still deliver the bytes.
+func TestWrapListenerDelay(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, ConnFaults{Delay: 5 * time.Millisecond, Seed: 1})
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		b, _ := io.ReadAll(c)
+		got <- b
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("hello"))
+	c.Close()
+	select {
+	case b := <-got:
+		if string(b) != "hello" {
+			t.Fatalf("read %q through delaying conn, want %q", b, "hello")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed read never completed")
+	}
+}

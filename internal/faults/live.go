@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnFaults parameterizes the live fault-injecting listener wrapper.
+// The zero value injects nothing.
+type ConnFaults struct {
+	// DropProb is the probability an accepted connection is closed
+	// immediately — the client sees a connect-then-reset.
+	DropProb float64
+	// ResetProb is the per-read probability the connection is torn
+	// down mid-stream — payment POSTs die between chunks.
+	ResetProb float64
+	// Delay stalls each read by up to this long (uniform), simulating
+	// a congested or lossy path without killing the conn.
+	Delay time.Duration
+	// Seed makes the injected faults reproducible across runs.
+	Seed int64
+}
+
+// Enabled reports whether any fault is armed.
+func (f ConnFaults) Enabled() bool {
+	return f.DropProb > 0 || f.ResetProb > 0 || f.Delay > 0
+}
+
+// WrapListener wraps l so accepted connections suffer the configured
+// faults. With a zero ConnFaults the listener is returned unchanged.
+func WrapListener(l net.Listener, f ConnFaults) net.Listener {
+	if !f.Enabled() {
+		return l
+	}
+	return &faultListener{Listener: l, cfg: f}
+}
+
+type faultListener struct {
+	net.Listener
+	cfg  ConnFaults
+	conn atomic.Int64 // per-connection RNG stream selector
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := fl.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		// Each connection draws from its own seeded stream: fault
+		// placement depends only on (Seed, accept order, read count),
+		// not on goroutine scheduling.
+		rng := rand.New(rand.NewSource(fl.cfg.Seed ^ (fl.conn.Add(1) * 0x6a09e667f3bcc909)))
+		if fl.cfg.DropProb > 0 && rng.Float64() < fl.cfg.DropProb {
+			c.Close() // connect-then-drop: the client's dial succeeded for nothing
+			continue
+		}
+		return &faultConn{Conn: c, cfg: fl.cfg, rng: rng}, nil
+	}
+}
+
+// faultConn injects read-side faults. Reads are serialized by mu: the
+// HTTP server reads each connection from one goroutine at a time, but
+// the wrapper must not assume it.
+type faultConn struct {
+	net.Conn
+	cfg ConnFaults
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	sleep := time.Duration(0)
+	reset := false
+	if c.cfg.Delay > 0 {
+		sleep = time.Duration(c.rng.Int63n(int64(c.cfg.Delay) + 1))
+	}
+	if c.cfg.ResetProb > 0 && c.rng.Float64() < c.cfg.ResetProb {
+		reset = true
+	}
+	c.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if reset {
+		// Tear the transport down mid-stream: subsequent reads and
+		// writes fail, exactly like a payment stream dying under load.
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Read(p)
+}

@@ -6,16 +6,19 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"speakup/internal/adversary"
 	"speakup/internal/core"
+	"speakup/internal/faults"
 )
 
 // Config tunes one load-generating client.
@@ -42,6 +45,16 @@ type Config struct {
 	// Client optionally overrides the HTTP client (tests inject
 	// in-process transports).
 	Client *http.Client
+	// RetryBudget is the max re-issues per request after a retryable
+	// failure (transport error, 502/503/504, eviction). 0 disables.
+	RetryBudget int
+	// RetryBase/RetryCap bound the jittered exponential backoff between
+	// retries (defaults from faults.Backoff: 200ms base, 5s cap).
+	RetryBase, RetryCap time.Duration
+	// RequestTimeout is the per-request deadline covering the whole
+	// speak-up exchange (initial GET through payment to response).
+	// 0 means no deadline.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +77,7 @@ type Stats struct {
 	Dropped   atomic.Uint64 // arrivals discarded because the window was full
 	Served    atomic.Uint64
 	Failed    atomic.Uint64
+	Retried   atomic.Uint64 // re-issues after retryable failures
 	PaidBytes atomic.Int64
 	// Latency records issue-to-response time of served requests.
 	Latency Histogram
@@ -177,7 +191,8 @@ func (c *Client) arrivals() {
 }
 
 // launch runs one request in its own goroutine; release frees the
-// window slot when it completes.
+// window slot when it completes. The window slot stays held across
+// retries, so a retrying client offers no extra concurrency.
 func (c *Client) launch(release func()) {
 	id := core.RequestID(c.ids.Add(1))
 	c.Stats.Issued.Add(1)
@@ -185,8 +200,28 @@ func (c *Client) launch(release func()) {
 	go func() {
 		defer c.wg.Done()
 		defer release()
+		backoff := faults.Backoff{Base: c.cfg.RetryBase, Cap: c.cfg.RetryCap}.WithDefaults()
 		start := time.Now()
-		served, paid := c.doRequest(id)
+		var served bool
+		var paid int64
+		for attempt := 0; ; attempt++ {
+			var retry bool
+			var retryAfter time.Duration
+			served, paid, retry, retryAfter = c.doRequest(id)
+			if served || !retry || attempt >= c.cfg.RetryBudget {
+				break
+			}
+			c.rngMu.Lock()
+			d := backoff.Delay(attempt, c.rng)
+			c.rngMu.Unlock()
+			if retryAfter > d {
+				d = retryAfter
+			}
+			if !c.sleep(d) {
+				break // shutting down
+			}
+			c.Stats.Retried.Add(1)
+		}
 		if served {
 			c.Stats.Served.Add(1)
 			c.Stats.Latency.Observe(time.Since(start))
@@ -201,43 +236,100 @@ func (c *Client) launch(release func()) {
 	}()
 }
 
+// sleep waits for d or until Stop; it reports whether the client is
+// still running.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 func (c *Client) url(path string, id core.RequestID, extra string) string {
 	return fmt.Sprintf("%s%s?id=%d%s", c.cfg.BaseURL, path, uint64(id), extra)
 }
 
-// doRequest walks the speak-up protocol once; it reports success and
-// the payment bytes this request pushed.
-func (c *Client) doRequest(id core.RequestID) (bool, int64) {
+// doRequest walks the speak-up protocol once; it reports success, the
+// payment bytes this attempt pushed, whether a failure is worth
+// retrying (transport error, brownout-style 5xx, eviction), and any
+// server-suggested Retry-After delay.
+func (c *Client) doRequest(id core.RequestID) (served bool, paid int64, retry bool, retryAfter time.Duration) {
+	ctx := context.Background()
+	cancel := func() {}
+	if c.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	}
+	defer cancel()
 	// Requests cost a little upload budget, too.
 	c.bucket.Take(200)
-	resp, err := c.cfg.Client.Get(c.url("/request", id, ""))
+	resp, err := c.get(ctx, c.url("/request", id, ""))
 	if err != nil {
-		return false, 0
+		return false, 0, true, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return true, 0
+		return true, 0, false, 0
 	case http.StatusPaymentRequired:
-		return c.payAndWait(id)
+		ok, paid := c.payAndWait(ctx, id)
+		// Not served after paying means evicted or deadline-expired:
+		// both are transient, so the retry budget applies.
+		return ok, paid, !ok, 0
+	case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+		return false, 0, true, parseRetryAfter(resp)
 	default:
-		return false, 0
+		return false, 0, false, 0
 	}
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header; 0 if absent
+// or unparseable (HTTP-date forms are not worth handling here).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}
+
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.cfg.Client.Do(req)
+}
+
+func (c *Client) post(ctx context.Context, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return c.cfg.Client.Do(req)
 }
 
 // payAndWait re-issues the actual request and streams payment POSTs
 // until admitted (then collects the held response) or evicted. With a
 // Strategy, each POST is sized by the strategy; a zero size defects —
 // payment stops while the request stays open, camping on its bid.
-func (c *Client) payAndWait(id core.RequestID) (bool, int64) {
+func (c *Client) payAndWait(ctx context.Context, id core.RequestID) (bool, int64) {
 	done := make(chan bool, 1)
 	var stopped atomic.Bool
 	var paid atomic.Int64
 	// The actual request (1), held by the thinner until served.
 	go func() {
 		c.bucket.Take(200)
-		resp, err := c.cfg.Client.Get(c.url("/request", id, "&wait=1"))
+		resp, err := c.get(ctx, c.url("/request", id, "&wait=1"))
 		if err != nil {
 			done <- false
 			return
@@ -262,7 +354,7 @@ func (c *Client) payAndWait(id core.RequestID) (bool, int64) {
 				chunk:   16 << 10,
 				stopped: stopped.Load,
 			}
-			resp, err := c.cfg.Client.Post(c.url("/pay", id, ""), "application/octet-stream", io.NopCloser(body))
+			resp, err := c.post(ctx, c.url("/pay", id, ""), io.NopCloser(body))
 			if err != nil {
 				return
 			}

@@ -21,6 +21,9 @@ type Registry struct {
 	wastedBytes    atomic.Int64
 	goingPrice     atomic.Int64
 	lastWinner     atomic.Uint64
+	shed           atomic.Uint64
+	brownouts      atomic.Uint64
+	health         atomic.Int32
 }
 
 // RecordAdmit counts one admission. paid is the winning bid in bytes;
@@ -45,6 +48,20 @@ func (r *Registry) RecordEvict(id uint64, paid int64) {
 	r.wastedBytes.Add(paid)
 }
 
+// RecordShed counts one request refused during an origin brownout.
+func (r *Registry) RecordShed(id uint64) { r.shed.Add(1) }
+
+// RecordBrownout counts one entry into a degraded health state and
+// moves the health gauge (core.HealthState numbering).
+func (r *Registry) RecordBrownout(state int32) {
+	r.brownouts.Add(1)
+	r.health.Store(state)
+}
+
+// RecordHealth moves the health gauge without counting a brownout —
+// used for the recovering→ok transitions.
+func (r *Registry) RecordHealth(state int32) { r.health.Store(state) }
+
 // Snapshot is one telemetry observation — the NDJSON line shape of
 // thinnerd's /telemetry stream. The registry fills the thinner
 // counters; the snapshotting side (the live front) fills the
@@ -60,6 +77,9 @@ type Snapshot struct {
 	WastedBytes    int64   `json:"wasted_bytes"`
 	GoingPrice     int64   `json:"going_price_bytes"`
 	LastWinner     uint64  `json:"last_winner_id"`
+	Shed           uint64  `json:"shed"`
+	Brownouts      uint64  `json:"brownouts"`
+	Health         int32   `json:"health"` // core.HealthState: 0 ok, 1 stalled, 2 recovering
 	IngestBytes    int64   `json:"ingest_bytes"`
 	IngestMbps     float64 `json:"ingest_mbps"`
 	OpenChannels   int     `json:"open_channels"`
@@ -78,5 +98,8 @@ func (r *Registry) Snapshot() Snapshot {
 		WastedBytes:    r.wastedBytes.Load(),
 		GoingPrice:     r.goingPrice.Load(),
 		LastWinner:     r.lastWinner.Load(),
+		Shed:           r.shed.Load(),
+		Brownouts:      r.brownouts.Load(),
+		Health:         r.health.Load(),
 	}
 }

@@ -22,6 +22,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"speakup/internal/sim"
@@ -62,6 +63,10 @@ type LinkStats struct {
 	BytesSent    uint64
 	PktsDropped  uint64
 	BytesDropped uint64
+	// PktsLost/BytesLost count packets destroyed by an injected fault
+	// (loss or partition) — distinct from drop-tail queue drops.
+	PktsLost  uint64
+	BytesLost uint64
 }
 
 // pktRing is a reusing FIFO of packets: a power-of-two circular buffer
@@ -126,8 +131,58 @@ type Link struct {
 	q      pktRing
 	busy   bool
 
+	// fault, when non-nil, impairs the link (internal/faults plans
+	// arm it via SetFault). It stays nil on healthy links so the
+	// steady-state packet path never branches on fault state beyond
+	// one nil check and never touches an RNG.
+	fault *linkFault
+
 	Stats LinkStats
 }
+
+// FaultState describes the impairments injected on one link.
+type FaultState struct {
+	// Loss is the probability a packet entering the link is destroyed.
+	Loss float64
+	// Jitter is the maximum extra propagation delay, drawn uniformly
+	// per packet. Delivery order on the link is preserved.
+	Jitter time.Duration
+	// Down partitions the link: every packet is destroyed.
+	Down bool
+}
+
+type linkFault struct {
+	FaultState
+	rng *rand.Rand
+	// lastArrival is the latest scheduled delivery time; jittered
+	// deliveries are clamped to it so the link never reorders.
+	lastArrival time.Duration
+}
+
+// SetFault arms (or replaces) the link's injected fault; the RNG for
+// loss/jitter draws is seeded from seed so a fault plan is a pure
+// function of its seeds. A zero FaultState clears the fault entirely,
+// restoring the allocation- and RNG-free healthy path.
+func (l *Link) SetFault(fs FaultState, seed int64) {
+	if fs == (FaultState{}) {
+		l.fault = nil
+		return
+	}
+	f := &linkFault{FaultState: fs}
+	if fs.Loss > 0 || fs.Jitter > 0 {
+		f.rng = rand.New(rand.NewSource(seed))
+	}
+	if old := l.fault; old != nil {
+		f.lastArrival = old.lastArrival
+	}
+	l.fault = f
+}
+
+// ClearFault restores the link to health.
+func (l *Link) ClearFault() { l.SetFault(FaultState{}, 0) }
+
+// Faulted reports whether an injected fault is currently armed.
+func (l *Link) Faulted() bool { return l.fault != nil }
 
 // Name returns the link's human-readable name.
 func (l *Link) Name() string { return l.name }
@@ -296,6 +351,15 @@ func (n *Network) forward(at *node, pkt *Packet) {
 }
 
 func (l *Link) enqueue(pkt *Packet) {
+	if f := l.fault; f != nil && (f.Down || (f.Loss > 0 && f.rng.Float64() < f.Loss)) {
+		l.Stats.PktsLost++
+		l.Stats.BytesLost += uint64(pkt.Size)
+		if l.net.Trace != nil {
+			l.net.Trace("drop", l, pkt)
+		}
+		l.net.reclaim(pkt)
+		return
+	}
 	if l.busy {
 		if l.qcap > 0 && l.queued+pkt.Size > l.qcap {
 			l.Stats.PktsDropped++
@@ -336,7 +400,18 @@ func linkTxDone(env, arg any) {
 	pkt := arg.(*Packet)
 	l.Stats.PktsSent++
 	l.Stats.BytesSent += uint64(pkt.Size)
-	l.net.loop.AfterTimer(l.delay, linkDeliver, l, pkt)
+	delay := l.delay
+	if f := l.fault; f != nil && f.Jitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.Jitter) + 1))
+		// Clamp to the latest scheduled arrival: jitter stretches the
+		// pipe but never reorders it (the sim TCP assumes FIFO links).
+		now := l.net.loop.Now()
+		if now+delay < f.lastArrival {
+			delay = f.lastArrival - now
+		}
+		f.lastArrival = now + delay
+	}
+	l.net.loop.AfterTimer(delay, linkDeliver, l, pkt)
 	if next := l.q.pop(); next != nil {
 		l.queued -= next.Size
 		l.transmit(next)

@@ -21,6 +21,7 @@ import (
 	"speakup/internal/appsim"
 	"speakup/internal/clients"
 	"speakup/internal/core"
+	"speakup/internal/faults"
 	"speakup/internal/metrics"
 	"speakup/internal/netsim"
 	"speakup/internal/server"
@@ -66,6 +67,19 @@ type ClientGroup struct {
 	// server default U[0.9/c, 1.1/c]). Used for heterogeneous-request
 	// experiments (§5): attackers send intentionally hard requests.
 	Work time.Duration
+
+	// RetryBudget re-issues failed requests up to this many times with
+	// jittered exponential backoff (RetryBase/RetryCap; zeros take the
+	// faults-package defaults). Zero fails immediately — the original
+	// model. Fault scenarios harden their clients with this.
+	RetryBudget int
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+	// Deadline abandons a request still outstanding after this long,
+	// tearing down its connections and freeing the client's window
+	// slot (the abandoned attempt retries if budget remains). Zero
+	// disables per-request deadlines.
+	Deadline time.Duration
 }
 
 func (g ClientGroup) withDefaults(idx int) ClientGroup {
@@ -166,6 +180,12 @@ type Config struct {
 	Hetero     core.HeteroConfig
 	RandomDrop core.RandomDropConfig
 	Profiler   core.ProfilerConfig
+
+	// Faults is the deterministic fault-injection plan (internal/faults):
+	// link loss/jitter/partitions and origin stalls/crashes scheduled
+	// through the event loop. Empty (the default) injects nothing and
+	// adds no events, keeping fault-free runs byte-identical.
+	Faults faults.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +221,7 @@ func (c Config) withDefaults() Config {
 		b := *c.BystanderH
 		c.BystanderH = &b
 	}
+	c.Faults = append(faults.Plan(nil), c.Faults...)
 	return c
 }
 
@@ -242,6 +263,26 @@ func (c Config) Validate() error {
 	if c.BystanderH != nil && len(c.Bottlenecks) == 0 {
 		return fmt.Errorf("scenario: BystanderH requires a bottleneck")
 	}
+	if len(c.Faults) > 0 {
+		// Fault targets name groups by their (possibly defaulted) name.
+		names := make(map[string]bool, len(c.Groups)*2)
+		for i, g := range c.Groups {
+			if g.Name != "" {
+				names[g.Name] = true
+			}
+			names[g.withDefaults(i).Name] = true
+		}
+		if err := c.Faults.Validate(names, len(c.Bottlenecks)); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if c.Mode == appsim.ModeHetero {
+			for _, ev := range c.Faults {
+				if ev.Kind == faults.OriginStall || ev.Kind == faults.OriginCrash {
+					return fmt.Errorf("scenario: %s faults are not supported in hetero mode (suspend/resume accounting assumes an unfrozen origin)", ev.Kind)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -255,6 +296,8 @@ type GroupResult struct {
 	Served    uint64
 	Failed    uint64
 	Denied    uint64
+	Retried   uint64 // failed attempts re-issued under the retry budget
+	Abandoned uint64 // attempts that hit the per-request deadline
 
 	Latencies metrics.Sample // served requests, seconds
 	PayTimes  metrics.Sample // served requests that paid, seconds
@@ -315,14 +358,19 @@ func Run(cfg Config) *Result {
 	clock := simclock.New(loop)
 
 	// --- topology ---
+	// Link references are captured as they are built so a fault plan
+	// can aim at them by name; with no plan the captures are unused.
+	targets := faultTargets{access: make(map[string][]*netsim.Link)}
 	sw := n.AddNode("switch", nil)
 	tn := n.AddNode("thinner", nil)
-	n.Connect(sw, tn, cfg.TrunkRate, cfg.TrunkDelay, cfg.TrunkQueue)
+	t1, t2 := n.Connect(sw, tn, cfg.TrunkRate, cfg.TrunkDelay, cfg.TrunkQueue)
+	targets.trunk = []*netsim.Link{t1, t2}
 
 	inner := make([]netsim.NodeID, len(cfg.Bottlenecks))
 	for i, b := range cfg.Bottlenecks {
 		inner[i] = n.AddNode(fmt.Sprintf("bottleneck-%d", i+1), nil)
-		n.Connect(inner[i], sw, b.Rate, b.Delay, b.QueueBytes)
+		b1, b2 := n.Connect(inner[i], sw, b.Rate, b.Delay, b.QueueBytes)
+		targets.bottleneck = append(targets.bottleneck, []*netsim.Link{b1, b2})
 	}
 
 	type clientSlot struct {
@@ -337,7 +385,8 @@ func Run(cfg Config) *Result {
 			if g.Bottleneck > 0 {
 				attach = inner[g.Bottleneck-1]
 			}
-			n.Connect(cn, attach, g.Bandwidth, g.LinkDelay, cfg.AccessQueue)
+			a1, a2 := n.Connect(cn, attach, g.Bandwidth, g.LinkDelay, cfg.AccessQueue)
+			targets.access[g.Name] = append(targets.access[g.Name], a1, a2)
 			slots = append(slots, clientSlot{group: gi, node: cn})
 		}
 	}
@@ -421,6 +470,11 @@ func Run(cfg Config) *Result {
 		Profiler:   cfg.Profiler,
 	})
 
+	// --- fault plan ---
+	if len(cfg.Faults) > 0 {
+		scheduleFaults(loop, cfg, targets, srv, thApp)
+	}
+
 	// --- clients ---
 	res := &Result{Config: cfg, Duration: cfg.Duration}
 	res.Groups = make([]GroupResult, len(cfg.Groups))
@@ -468,11 +522,14 @@ func Run(cfg Config) *Result {
 		}
 		stack := tcpsim.NewStack(n, slot.node, tcpsim.Options{})
 		wl := clients.New(clock, clients.Config{
-			Lambda: g.Lambda,
-			Window: g.Window,
-			Good:   g.Good,
-			Seed:   cfg.Seed*1_000_003 + int64(si),
-			Pacer:  strat,
+			Lambda:       g.Lambda,
+			Window:       g.Window,
+			Good:         g.Good,
+			Seed:         cfg.Seed*1_000_003 + int64(si),
+			Pacer:        strat,
+			RetryBudget:  g.RetryBudget,
+			RetryBackoff: faults.Backoff{Base: g.RetryBase, Cap: g.RetryCap},
+			Deadline:     g.Deadline,
 		}, genFor(slot.group, strat))
 		app := appsim.NewClientApp(stack, wl, tn, cfg.Sizes, appsim.ClientAppConfig{
 			PayConns: g.PayConns,
@@ -542,6 +599,8 @@ func Run(cfg Config) *Result {
 		gr.Generated += st.Generated
 		gr.Issued += st.Issued
 		gr.Denied += st.Denied
+		gr.Retried += st.Retried
+		gr.Abandoned += st.Abandoned
 	}
 	var offeredGood uint64
 	for _, gr := range res.Groups {

@@ -37,6 +37,9 @@ type Stats struct {
 	Aborted   uint64
 	Suspends  uint64
 	Resumes   uint64
+	Stalls    uint64 // injected stall windows (fault plans)
+	Crashes   uint64 // injected crash-restart events
+	Lost      uint64 // in-flight requests destroyed by a crash
 	BusyTime  time.Duration
 	TotalWork time.Duration // service time of completed requests
 }
@@ -52,11 +55,17 @@ type Server struct {
 	startedAt   time.Duration
 	pendingWork time.Duration // total work of the in-service request
 	finish      func()        // cancels the completion timer
+	finishAt    time.Duration // when the completion timer fires (stalls push it)
+	stallUntil  time.Duration // the origin is frozen until this instant
 	suspended   map[core.RequestID]time.Duration
 	stats       Stats
 
 	// Done fires when a request completes service.
 	Done func(id core.RequestID)
+	// Failed fires when a crash destroys the in-flight request: the
+	// client never gets a response and the thinner must release its
+	// busy latch. Nil loses the notification (only fault plans crash).
+	Failed func(id core.RequestID)
 	// Observer, if set, receives the server time a request actually
 	// consumed — its full work on completion, or the partial service it
 	// burned before an Abort. Experiments use it to attribute server
@@ -130,9 +139,17 @@ func (s *Server) Start(id core.RequestID) {
 func (s *Server) run(id core.RequestID, work time.Duration) {
 	s.busy = true
 	s.current = id
-	s.startedAt = s.clock.Now()
+	now := s.clock.Now()
+	s.startedAt = now
 	s.pendingWork = work
-	s.finish = s.clock.After(work, s.completeFn)
+	delay := work
+	if s.stallUntil > now {
+		// The origin is mid-stall (or restarting after a crash): work
+		// only begins once it thaws.
+		delay += s.stallUntil - now
+	}
+	s.finishAt = now + delay
+	s.finish = s.clock.After(delay, s.completeFn)
 }
 
 // complete finishes the in-service request. It reads the request from
@@ -205,3 +222,66 @@ func (s *Server) Abort(id core.RequestID) {
 
 // SuspendedCount returns how many requests are parked.
 func (s *Server) SuspendedCount() int { return len(s.suspended) }
+
+// Stalled reports whether the origin is currently frozen by an
+// injected stall or crash-restart window.
+func (s *Server) Stalled() bool { return s.clock.Now() < s.stallUntil }
+
+// Stall freezes the origin until now+d (fault injection): the
+// in-flight request's completion is postponed by the added stall, and
+// requests started inside the window only begin work when it thaws.
+// Overlapping stalls extend to the latest deadline.
+func (s *Server) Stall(d time.Duration) {
+	now := s.clock.Now()
+	until := now + d
+	if until <= s.stallUntil {
+		return
+	}
+	prev := s.stallUntil
+	if prev < now {
+		prev = now
+	}
+	added := until - prev
+	s.stallUntil = until
+	s.stats.Stalls++
+	if s.busy {
+		s.finish()
+		s.finishAt += added
+		s.finish = s.clock.After(s.finishAt-now, s.completeFn)
+	}
+}
+
+// Crash kills the origin (fault injection): the in-flight request, if
+// any, is destroyed — its client is notified through Failed, its
+// partial service is charged via Observer — and the origin restarts
+// after downFor of downtime (a stall window). Suspended §5 requests
+// survive: their state lives in the transaction manager, not the
+// crashed worker.
+func (s *Server) Crash(downFor time.Duration) {
+	now := s.clock.Now()
+	s.stats.Crashes++
+	if until := now + downFor; until > s.stallUntil {
+		s.stallUntil = until
+	}
+	if !s.busy {
+		return
+	}
+	id := s.current
+	s.finish()
+	s.finish = nil
+	s.busy = false
+	s.stats.Lost++
+	s.stats.BusyTime += now - s.startedAt
+	consumed := now - s.startedAt
+	total := s.workOf[id]
+	delete(s.workOf, id)
+	if consumed > total {
+		consumed = total // stall time is not service time
+	}
+	if s.Observer != nil && consumed > 0 {
+		s.Observer(id, consumed)
+	}
+	if s.Failed != nil {
+		s.Failed(id)
+	}
+}

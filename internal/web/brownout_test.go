@@ -1,0 +1,225 @@
+package web
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speakup/internal/core"
+)
+
+// TestFrontOriginStallBrownout hangs the origin mid-run under a
+// payment storm and walks the live brownout ladder under -race: the
+// watchdog must declare the stall, new arrivals must be shed with 503
+// + Retry-After while held channels survive past every timeout, and
+// once the origin thaws the auctions must resume and serve the storm
+// with no stranded waiters.
+func TestFrontOriginStallBrownout(t *testing.T) {
+	payers := 24
+	if testing.Short() {
+		payers = 10
+	}
+
+	// Exactly one Serve call hangs (the CAS) until release is closed;
+	// every other request is fast.
+	var stallArmed atomic.Bool
+	release := make(chan struct{})
+	origin := OriginFunc(func(id core.RequestID) ([]byte, error) {
+		if stallArmed.CompareAndSwap(true, false) {
+			<-release
+		}
+		time.Sleep(time.Millisecond)
+		return []byte("ok"), nil
+	})
+	front := NewFront(origin, Config{
+		PayPollInterval:  5 * time.Millisecond,
+		RequestTimeout:   30 * time.Second,
+		OriginStallAfter: 150 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout:     300 * time.Millisecond,
+			InactivityTimeout: 600 * time.Millisecond,
+			SweepInterval:     25 * time.Millisecond,
+			Shards:            8,
+		},
+	})
+	srv := httptest.NewServer(front)
+	defer front.Close()
+	defer srv.Close()
+	client := srv.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	// Before anything hangs the readiness probe must be green.
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz before run: %d %q", code, body)
+	}
+
+	// Arm the hang before the storm: the first dispatched Serve call
+	// blocks, so the rest of the storm piles up as paying contenders.
+	stallArmed.Store(true)
+
+	var served, shedWaits atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < payers; i++ {
+		id := 1000 + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(fmt.Sprintf("%s/request?id=%d", srv.URL, id))
+			if err != nil {
+				return
+			}
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code == http.StatusOK {
+				served.Add(1)
+				return
+			}
+			if code != http.StatusPaymentRequired {
+				return // e.g. shed: the initial request landed mid-brownout
+			}
+			// Hold the actual request open. A wait=1 re-issue that lands
+			// during the brownout is shed with a retry hint: honor it.
+			done := make(chan int, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					code, body, err := tryGet(fmt.Sprintf("%s/request?id=%d&wait=1", srv.URL, id))
+					if err == nil && code == http.StatusServiceUnavailable && strings.Contains(body, "brownout") {
+						shedWaits.Add(1)
+						time.Sleep(100 * time.Millisecond)
+						continue
+					}
+					if err != nil {
+						code = 0
+					}
+					done <- code
+					return
+				}
+			}()
+			// Stop paying once the held request has its verdict: after
+			// admission a further POST would just open a fresh orphan
+			// channel for the same id.
+			for paying := true; paying && len(done) == 0; {
+				body := strings.NewReader(strings.Repeat("x", 32<<10))
+				resp, err := client.Post(fmt.Sprintf("%s/pay?id=%d", srv.URL, id),
+					"application/octet-stream", body)
+				if err != nil {
+					break
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				paying = strings.Contains(string(raw), "continue")
+			}
+			if code := <-done; code == http.StatusOK {
+				served.Add(1)
+			}
+		}()
+	}
+
+	// The watchdog must brown the front out once the hung Serve call
+	// exceeds OriginStallAfter.
+	deadline := time.Now().Add(10 * time.Second)
+	for front.Health().Origin != "stalled" && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := front.Health().Origin; got != "stalled" {
+		close(release)
+		t.Fatalf("origin health = %q, want stalled (watchdog never fired)", got)
+	}
+
+	// Mid-brownout contract: /healthz degrades, /stats reports the
+	// ladder state, and a fresh arrival is shed with a retry hint.
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hzBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(string(hzBody), `"degraded"`) || !strings.Contains(string(hzBody), `"stalled"`) {
+		t.Fatalf("/healthz during stall: %d %s", resp.StatusCode, hzBody)
+	}
+	if st := front.Snapshot(); st.Health != "stalled" {
+		t.Fatalf("/stats health = %q during stall, want stalled", st.Health)
+	}
+	resp, err = client.Get(srv.URL + "/request?id=7777")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("arrival during stall got %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed 503 carried no Retry-After header")
+	}
+
+	// Held channels must survive the outage even past every timeout:
+	// evictions are held while stalled.
+	time.Sleep(front.cfg.Thinner.OrphanTimeout + front.cfg.Thinner.InactivityTimeout)
+	if front.Health().Origin != "stalled" {
+		t.Fatal("stall cleared itself with the origin still hung")
+	}
+	if n := front.Table().Size(); n == 0 {
+		t.Fatal("payment channels evicted during the brownout")
+	}
+
+	// Thaw. Recovery must settle the deferred auction and drain the
+	// whole storm.
+	close(release)
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(60 * time.Second):
+		t.Fatal("waiters stranded after recovery: storm did not drain")
+	}
+
+	st := front.Snapshot()
+	t.Logf("served=%d shedWaits=%d stats=%+v", served.Load(), shedWaits.Load(), st)
+	if served.Load() < int64(payers/2) {
+		t.Fatalf("served %d/%d after recovery: auctions did not resume", served.Load(), payers)
+	}
+	if st.ThinnerTotals.Brownouts == 0 {
+		t.Fatal("brownout never counted")
+	}
+	if st.ThinnerTotals.Shed == 0 {
+		t.Fatal("shed arrivals never counted")
+	}
+	if st.Health == "stalled" {
+		t.Fatalf("health still %q after recovery", st.Health)
+	}
+
+	// Ladder returns to OK and the probe greens once the grace passes.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if h := front.Health(); h.Origin == "ok" && h.Status == "ok" {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if h := front.Health(); h.Origin != "ok" || h.Status != "ok" {
+		t.Fatalf("health after recovery = %+v, want ok", h)
+	}
+
+	// No stranded waiters, and the table drains.
+	deadline = time.Now().Add(10 * time.Second)
+	for (front.Table().Size() > 0 || front.Table().Waiters() > 0) && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := front.Table().Waiters(); n > 0 {
+		t.Fatalf("%d waiters stranded", n)
+	}
+	if n := front.Table().Size(); n > 0 {
+		t.Fatalf("%d channels leaked", n)
+	}
+}

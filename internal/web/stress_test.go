@@ -100,6 +100,11 @@ func TestFrontStress(t *testing.T) {
 	client := srv.Client()
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
 
+	// Readiness gate: the probe must be green before the storm starts.
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz before storm: %d %q", code, body)
+	}
+
 	var served, evicted, conflicts atomic.Int64
 	var wg sync.WaitGroup
 
@@ -241,6 +246,11 @@ func TestFrontStress(t *testing.T) {
 	}
 	if n := front.Table().Waiters(); n > 0 {
 		t.Fatalf("%d waiters leaked", n)
+	}
+	// After the storm the probe must still be green: listener up,
+	// sweep chain alive, origin not browned out.
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"sweep_ok":true`) {
+		t.Fatalf("/healthz after storm: %d %q", code, body)
 	}
 }
 

@@ -114,6 +114,11 @@ type Config struct {
 	// RequestTimeout bounds how long a held request waits for service.
 	// Default 5 minutes.
 	RequestTimeout time.Duration
+	// OriginStallAfter declares the origin browned out when a single
+	// Serve call exceeds it: auctions pause, held channels survive,
+	// and new /request arrivals are shed with 503 + Retry-After until
+	// the call returns. Default 30s.
+	OriginStallAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.OriginStallAfter == 0 {
+		c.OriginStallAfter = 30 * time.Second
 	}
 	return c
 }
@@ -212,6 +220,19 @@ func (f *Front) now() time.Duration { return time.Since(f.started) }
 func (f *Front) admit(id core.RequestID, paid int64) {
 	w, _ := f.table.TakeWaiter(id).(chan []byte)
 	go func() {
+		// Watchdog: a Serve call that exceeds OriginStallAfter browns
+		// the thinner out. The done flag is flipped under ctl, so the
+		// timer callback either observes it (Serve finished first) or
+		// declares the stall strictly before the recovery below.
+		var done atomic.Bool
+		watchdog := time.AfterFunc(f.cfg.OriginStallAfter, func() {
+			f.ctl.Lock()
+			defer f.ctl.Unlock()
+			if done.Load() {
+				return
+			}
+			f.th.SetOriginStalled(true)
+		})
 		body, err := f.origin.Serve(id)
 		if err != nil {
 			body = []byte("origin error: " + err.Error())
@@ -224,6 +245,12 @@ func (f *Front) admit(id core.RequestID, paid int64) {
 			w <- body // buffered; the waiter may also have given up
 		}
 		f.ctl.Lock()
+		done.Store(true)
+		watchdog.Stop()
+		// No-op unless the watchdog fired: recovery re-opens the
+		// auction floor (with an eviction grace window) before
+		// ServerDone settles the next winner.
+		f.th.SetOriginStalled(false)
 		f.th.ServerDone()
 		f.ctl.Unlock()
 	}()
@@ -250,6 +277,8 @@ func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.handlePay(w, r)
 	case "/stats":
 		f.handleStats(w)
+	case "/healthz":
+		f.handleHealthz(w)
 	case "/telemetry":
 		f.handleTelemetry(w, r)
 	case "/control/config":
@@ -281,6 +310,16 @@ func (f *Front) handleRequest(w http.ResponseWriter, r *http.Request) {
 
 	ch := make(chan []byte, 1)
 	f.ctl.Lock()
+	if f.th.Health() == core.HealthStalled {
+		// Origin brownout: shed fast with a retry hint instead of
+		// stranding this client as a waiter the origin cannot drain.
+		// Contenders already holding channels keep their balances.
+		f.th.ShedArrival(id)
+		f.ctl.Unlock()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "origin brownout: auctions paused, retry shortly", http.StatusServiceUnavailable)
+		return
+	}
 	if !wait && f.th.Busy() {
 		f.ctl.Unlock()
 		// The "JavaScript" reply: open a payment channel and re-issue.
@@ -414,8 +453,11 @@ type Stats struct {
 	// orphans (paid, request not yet arrived) — under flood this is
 	// the population the PR 5 indexes keep auction and sweep cost
 	// independent of.
-	OpenChannels  int        `json:"open_channels"`
-	Shards        int        `json:"shards"`
+	OpenChannels int `json:"open_channels"`
+	Shards       int `json:"shards"`
+	// Health is the origin-health brownout ladder state ("ok",
+	// "stalled", "recovering").
+	Health        string     `json:"health"`
 	ThinnerTotals core.Stats `json:"thinner"`
 }
 
@@ -428,6 +470,7 @@ func (f *Front) Snapshot() Stats {
 	going := f.th.GoingRate()
 	winner := f.th.LastWinner()
 	totals := f.th.Stats()
+	health := f.th.Health()
 	f.ctl.Unlock()
 	pay := f.table.TotalCredited()
 	return Stats{
@@ -440,6 +483,7 @@ func (f *Front) Snapshot() Stats {
 		Contenders:    f.table.Eligible(),
 		OpenChannels:  f.table.Size(),
 		Shards:        f.table.Shards(),
+		Health:        health.String(),
 		ThinnerTotals: totals,
 	}
 }
@@ -447,6 +491,48 @@ func (f *Front) Snapshot() Stats {
 func (f *Front) handleStats(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(f.Snapshot())
+}
+
+// Healthz is the JSON shape of /healthz — the readiness probe fleet
+// orchestration points at a front. Ready means: the listener answered
+// (implicit), the timeout-sweep chain is alive, and the origin is not
+// browned out.
+type Healthz struct {
+	Status      string `json:"status"` // "ok" or "degraded"
+	Origin      string `json:"origin"` // brownout ladder: ok | stalled | recovering
+	SweepOK     bool   `json:"sweep_ok"`
+	LastSweepMS int64  `json:"last_sweep_ms"` // age of the last sweep tick
+	UptimeMS    int64  `json:"uptime_ms"`
+}
+
+// Health returns the readiness view (the /healthz body).
+func (f *Front) Health() Healthz {
+	f.ctl.Lock()
+	origin := f.th.Health()
+	age := f.th.LastSweepAge()
+	interval := f.th.Config().SweepInterval
+	f.ctl.Unlock()
+	h := Healthz{
+		Origin:      origin.String(),
+		SweepOK:     age <= 3*interval,
+		LastSweepMS: age.Milliseconds(),
+		UptimeMS:    time.Since(f.started).Milliseconds(),
+	}
+	if h.SweepOK && origin != core.HealthStalled {
+		h.Status = "ok"
+	} else {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter) {
+	h := f.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 // Reconfigure applies a thinner-section patch to the live auction
@@ -520,7 +606,7 @@ func (f *Front) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
-	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -528,8 +614,12 @@ func (f *Front) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(f.Telemetry()); err != nil {
 			return
 		}
-		if flusher != nil {
-			flusher.Flush()
+		// Flush through the ResponseController and stop on its error:
+		// a dead client surfaces here on the next tick instead of the
+		// stream silently writing into a closed connection until the
+		// server reaps it.
+		if err := rc.Flush(); err != nil {
+			return
 		}
 		select {
 		case <-r.Context().Done():

@@ -31,6 +31,7 @@ package speakup
 
 import (
 	"fmt"
+	"net"
 	"net/http"
 
 	"speakup/configs"
@@ -38,6 +39,7 @@ import (
 	"speakup/internal/appsim"
 	"speakup/internal/config"
 	"speakup/internal/core"
+	"speakup/internal/faults"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
 	"speakup/internal/web"
@@ -268,6 +270,62 @@ func NewFront(origin Origin, cfg FrontConfig) *Front { return web.NewFront(origi
 // NewEmulatedOrigin returns the paper's emulated server: one request
 // at a time, service time uniform in [0.9/c, 1.1/c].
 func NewEmulatedOrigin(capacity float64) Origin { return web.NewEmulatedOrigin(capacity) }
+
+// Fault injection and graceful degradation. Scenario files carry a
+// declarative fault plan ([FaultEvent]: kind x target x schedule x
+// magnitude) that the simulator injects deterministically; the live
+// stack gets [WrapFaultListener] for socket-level chaos and a
+// brownout health ladder on the thinner ([HealthState], surfaced at
+// /healthz and in /stats).
+type (
+	// FaultKind names one injectable failure mode.
+	FaultKind = faults.Kind
+	// FaultEvent schedules one fault in a scenario's plan.
+	FaultEvent = faults.Event
+	// FaultPlan is a scenario's ordered fault schedule.
+	FaultPlan = faults.Plan
+	// RetryBackoff is the bounded jittered exponential backoff retrying
+	// clients use between re-issues.
+	RetryBackoff = faults.Backoff
+	// ConnFaults configures socket-level fault injection for the live
+	// front's listener.
+	ConnFaults = faults.ConnFaults
+	// HealthState is the thinner's brownout ladder position.
+	HealthState = core.HealthState
+	// FrontHealth is the live front's /healthz JSON shape.
+	FrontHealth = web.Healthz
+)
+
+// Injectable fault kinds.
+const (
+	// FaultLinkLoss drops packets on a link with some probability.
+	FaultLinkLoss = faults.LinkLoss
+	// FaultLinkJitter adds random extra delay to a link.
+	FaultLinkJitter = faults.LinkJitter
+	// FaultPartition takes a link down entirely.
+	FaultPartition = faults.Partition
+	// FaultOriginStall freezes the origin without losing work.
+	FaultOriginStall = faults.OriginStall
+	// FaultOriginCrash kills the origin, losing the in-flight request.
+	FaultOriginCrash = faults.OriginCrash
+)
+
+// Brownout ladder states.
+const (
+	// HealthOK: auctions run normally.
+	HealthOK = core.HealthOK
+	// HealthStalled: origin down — auctions paused, arrivals shed,
+	// admitted channels held.
+	HealthStalled = core.HealthStalled
+	// HealthRecovering: origin back — evictions held for a grace
+	// period while the backlog drains.
+	HealthRecovering = core.HealthRecovering
+)
+
+// WrapFaultListener wraps a listener so accepted connections drop,
+// delay, or reset per f — deterministic in f.Seed per connection. With
+// a zero f the listener is returned unchanged.
+func WrapFaultListener(l net.Listener, f ConnFaults) net.Listener { return faults.WrapListener(l, f) }
 
 // Handler is a convenience assertion that Front serves HTTP.
 var _ http.Handler = (*web.Front)(nil)
