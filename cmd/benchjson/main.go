@@ -41,7 +41,20 @@
 // (internal/exp.Faults) run at bench scale, with good-service
 // retention per fault kind — the worst fault cell's good-service
 // fraction over the fault-free baseline at the same bandwidth ratio.
-// The speedup_vs_baseline field carries the worst-cell retention.
+// Every file says which it is in metric_kind: "speedup" files carry
+// speedup_vs_baseline (bigger-is-better performance ratio);
+// "retention" files carry retention_vs_baseline (a fraction of
+// fault-free service kept — 0.59 there is graceful degradation, not a
+// slowdown).
+//
+// PR 8 compares the two payment transports on CPU efficiency: the
+// same 32-stream loopback ingest harness run once over HTTP POST /pay
+// (the PR 3 harness, now also metered in CPU time) and once over the
+// binary framed wire transport (internal/wire), reported as
+// bytes-of-goodput credited per CPU-second. Wall-clock ingest on
+// loopback saturates memory bandwidth either way; the CPU-second
+// denominator is what predicts how much attacker bandwidth one core
+// can absorb — speak-up's defining capacity.
 //
 // -pr 2 re-emits the PR 2 simulator measurements (sweep_serial,
 // event_loop) for trajectory continuity.
@@ -54,6 +67,7 @@
 //	go run ./cmd/benchjson -pr 2 -out BENCH_PR2.json
 //	go run ./cmd/benchjson -pr 4 -dur 10s   # adversary sweep events/sec
 //	go run ./cmd/benchjson -pr 7 -dur 25s   # fault-frontier retention
+//	go run ./cmd/benchjson -pr 8 -window 8s # wire vs HTTP goodput/CPU-sec
 package main
 
 import (
@@ -67,6 +81,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -77,6 +92,7 @@ import (
 	"speakup/internal/sim"
 	"speakup/internal/sweep"
 	"speakup/internal/web"
+	"speakup/internal/wire"
 )
 
 // pr2Baseline is the pre-PR2 measurement of the identical sweep_serial
@@ -119,6 +135,9 @@ type metricsJSON struct {
 	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
 	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
 	MbitPerSec   float64 `json:"mbit_per_sec,omitempty"`
+	// BytesPerCPUSec is the -pr 8 headline: credited payment bytes per
+	// CPU-second of process time (user+system, both sides of loopback).
+	BytesPerCPUSec float64 `json:"bytes_per_cpu_sec,omitempty"`
 	// Retention is the -pr 7 headline: fraction of the fault-free
 	// good-service level retained under a fault (1 = unharmed).
 	Retention float64 `json:"retention,omitempty"`
@@ -138,7 +157,27 @@ type fileJSON struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Baseline   metricsJSON   `json:"baseline"`
 	Current    []metricsJSON `json:"current"`
-	Speedup    float64       `json:"speedup_vs_baseline"`
+	// MetricKind says what the headline ratio below measures:
+	// "speedup" files carry Speedup (bigger-is-better performance vs
+	// the baseline row); "retention" files carry Retention (fraction of
+	// fault-free good service kept at the worst fault cell — graceful
+	// degradation, not a slowdown). Exactly one of the two is set.
+	MetricKind string  `json:"metric_kind"`
+	Speedup    float64 `json:"speedup_vs_baseline,omitempty"`
+	Retention  float64 `json:"retention_vs_baseline,omitempty"`
+}
+
+// cpuSeconds reads the process's consumed CPU time (user + system).
+// Both ends of the loopback harness live in this process, so the
+// delta across a window prices the whole transport stack — client
+// framing, kernel copies, server decode, and the credit itself.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
 }
 
 // ---- PR 3: live payment hot path ----
@@ -214,10 +253,11 @@ func measureConcurrentIngest(streams int, window time.Duration) metricsJSON {
 		}()
 	}
 
-	start := time.Now()
+	start, cpu0 := time.Now(), cpuSeconds()
 	time.Sleep(window)
 	elapsed := time.Since(start)
 	credited := front.Table().TotalCredited()
+	cpu := cpuSeconds() - cpu0
 	close(stop)
 	wg.Wait()
 	close(block)
@@ -225,12 +265,113 @@ func measureConcurrentIngest(streams int, window time.Duration) metricsJSON {
 	front.Close()
 
 	bps := float64(credited) / elapsed.Seconds()
-	return metricsJSON{
+	m := metricsJSON{
 		Name:        "concurrent_ingest",
 		BytesPerSec: bps,
 		MbitPerSec:  bps * 8 / 1e6,
 		Note:        fmt.Sprintf("%d loopback POST /pay streams, %.1fs window, server-side credited bytes", streams, elapsed.Seconds()),
 	}
+	if cpu > 0 {
+		m.BytesPerCPUSec = float64(credited) / cpu
+	}
+	return m
+}
+
+// ---- PR 8: binary framed wire transport vs HTTP, per CPU-second ----
+
+// measureWireIngest is the wire-transport twin of the PR 3 ingest
+// harness: the same blocked-origin front, the same stream count, but
+// the payment bytes arrive as CREDIT frames multiplexed over a few
+// persistent TCP connections (streams/4 conns, like a real botnet
+// client pool) instead of one chunked POST per stream.
+func measureWireIngest(streams int, window time.Duration) metricsJSON {
+	block := make(chan struct{})
+	origin := web.OriginFunc(func(id core.RequestID) ([]byte, error) {
+		<-block
+		return []byte{}, nil
+	})
+	front := web.NewFront(origin, web.Config{
+		Thinner: core.Config{
+			OrphanTimeout:     time.Hour,
+			InactivityTimeout: time.Hour,
+			SweepInterval:     time.Hour,
+		},
+	})
+	wsrv := wire.NewServer(front, wire.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go wsrv.Serve(ln)
+	addr := ln.Addr().String()
+
+	// Occupy the origin through the same arrival path the HTTP harness
+	// uses its GET /request for: the OPEN dispatches id 1 into the
+	// blocked origin, so every later channel is a pure contender.
+	occ, err := wire.Dial(addr)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := occ.Open(1); err != nil {
+		panic(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	nConns := max(1, streams/4)
+	conns := make([]*wire.Client, nConns)
+	for i := range conns {
+		if conns[i], err = wire.Dial(addr); err != nil {
+			panic(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		id := core.RequestID(1000 + i)
+		cl := conns[i%nConns]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := cl.Credit(id, 1<<20); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	start, cpu0 := time.Now(), cpuSeconds()
+	time.Sleep(window)
+	elapsed := time.Since(start)
+	credited := front.Table().TotalCredited()
+	cpu := cpuSeconds() - cpu0
+	close(stop)
+	for _, cl := range conns {
+		cl.Close()
+	}
+	wg.Wait()
+	occ.Close()
+	close(block)
+	wsrv.Close()
+	front.Close()
+
+	bps := float64(credited) / elapsed.Seconds()
+	m := metricsJSON{
+		Name:        "wire_ingest_goodput",
+		BytesPerSec: bps,
+		MbitPerSec:  bps * 8 / 1e6,
+		Note: fmt.Sprintf("%d payment channels as CREDIT frames over %d persistent conns, %.1fs window, server-side credited bytes",
+			streams, nConns, elapsed.Seconds()),
+	}
+	if cpu > 0 {
+		m.BytesPerCPUSec = float64(credited) / cpu
+	}
+	return m
 }
 
 // measureCreditPaths benchmarks the per-chunk credit operation on the
@@ -598,7 +739,7 @@ func measureEventLoop() metricsJSON {
 }
 
 func main() {
-	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, 5, or 7)")
+	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, 5, 7, or 8)")
 	out := flag.String("out", "", "output file (default BENCH_PR<n>.json)")
 	streams := flag.Int("streams", 32, "concurrent payment streams for the ingest window")
 	window := flag.Duration("window", 8*time.Second, "ingest measurement window")
@@ -621,6 +762,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MetricKind: "speedup",
 	}
 
 	switch *pr {
@@ -694,7 +836,26 @@ func main() {
 		f.Current = rows
 		// The headline is a retention ratio, not a speedup: good service
 		// at the worst fault cell over the fault-free level.
-		f.Speedup = worst
+		f.MetricKind = "retention"
+		f.Retention = worst
+	case 8:
+		fmt.Fprintf(os.Stderr, "benchjson: measuring http ingest goodput (%d streams, %s) ...\n", *streams, *window)
+		httpRow := measureConcurrentIngest(*streams, *window)
+		httpRow.Name = "http_ingest_goodput"
+		httpRow.Note += "; the PR 3 harness, CPU-metered"
+		fmt.Fprintf(os.Stderr, "  %.1f Mbit/s, %.1f MB per CPU-second\n",
+			httpRow.MbitPerSec, httpRow.BytesPerCPUSec/1e6)
+		fmt.Fprintf(os.Stderr, "benchjson: measuring wire ingest goodput (%d channels, %s) ...\n", *streams, *window)
+		wireRow := measureWireIngest(*streams, *window)
+		fmt.Fprintf(os.Stderr, "  %.1f Mbit/s, %.1f MB per CPU-second\n",
+			wireRow.MbitPerSec, wireRow.BytesPerCPUSec/1e6)
+		f.Baseline = httpRow
+		f.Current = []metricsJSON{wireRow}
+		// The headline: payment bytes credited per CPU-second, wire over
+		// HTTP, same front, same stream count, same loopback host.
+		if httpRow.BytesPerCPUSec > 0 {
+			f.Speedup = wireRow.BytesPerCPUSec / httpRow.BytesPerCPUSec
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -pr %d\n", *pr)
 		os.Exit(2)
@@ -710,5 +871,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%.2fx vs baseline)\n", *out, f.Speedup)
+	if f.MetricKind == "retention" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%.2f retention vs baseline)\n", *out, f.Retention)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%.2fx vs baseline)\n", *out, f.Speedup)
+	}
 }

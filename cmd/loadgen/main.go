@@ -9,7 +9,15 @@
 //	        [-bw 2e6] [-post 1048576] [-duration 30s] [-json]
 //	        [-attack <profile>] [-aggro 1.5] [-scenario <file>]
 //	        [-retry-budget 3] [-retry-base 200ms] [-retry-cap 5s]
-//	        [-req-timeout 30s]
+//	        [-req-timeout 30s] [-transport http|wire]
+//	        [-wire-addr localhost:8081]
+//
+// -transport selects which front the clients drive: "http" (the
+// default GET /request + POST /pay exchange) or "wire", the binary
+// framed payment transport served by thinnerd's -wire-addr listener
+// (OPEN/CREDIT frames multiplexed over persistent TCP). Scenario
+// files may set a transport; the flag overrides. The /healthz
+// reachability probe always goes over HTTP.
 //
 // At startup the generator probes the front's /healthz once and exits
 // non-zero with a one-line error if the front is unreachable (any HTTP
@@ -55,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speakup"
 	"speakup/configs"
 	"speakup/internal/adversary"
 	"speakup/internal/config"
@@ -100,6 +109,12 @@ type summaryJSON struct {
 	Bad               classJSON `json:"bad"`
 	AdmissionsPerSec  float64   `json:"admissions_per_sec"`
 	PaymentBitsPerSec float64   `json:"payment_ingest_bits_per_sec"`
+	// Transport names the front the clients drove ("http" or "wire");
+	// IngestByTransport splits the payment ingest rate by transport so
+	// mixed dashboards can attribute bytes to the right listener (one
+	// loadgen run drives a single transport, so the other key is 0).
+	Transport         string             `json:"transport"`
+	IngestByTransport map[string]float64 `json:"payment_ingest_bits_per_sec_by_transport"`
 }
 
 func tally(cs []*loadgen.Client) (issued, served uint64, paid int64) {
@@ -158,6 +173,8 @@ func main() {
 	retryBase := flag.Duration("retry-base", 0, "backoff base between retries (default 200ms)")
 	retryCap := flag.Duration("retry-cap", 0, "backoff cap between retries (default 5s)")
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline covering the whole speak-up exchange (0 = none)")
+	transport := flag.String("transport", "http", "front to drive: http (GET/POST) or wire (binary framed payment transport)")
+	wireAddr := flag.String("wire-addr", "localhost:8081", "wire listener host:port (with -transport wire)")
 	flag.Parse()
 
 	if *attack == "list" {
@@ -174,6 +191,7 @@ func main() {
 	badLambda, badWindow, badBW := 40.0, 20, *bw
 	postBytes, dur := *post, *duration
 	atk, scale := *attack, *aggro
+	trans := *transport
 	scenarioName := ""
 	if *scenarioFile != "" {
 		doc, err := config.Resolve(configs.FS, *scenarioFile)
@@ -234,6 +252,9 @@ func main() {
 		if doc.Duration != 0 {
 			dur = doc.Duration.D()
 		}
+		if doc.Transport != "" {
+			trans = doc.Transport
+		}
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if explicit["good"] {
@@ -257,6 +278,12 @@ func main() {
 		if explicit["aggro"] {
 			scale = *aggro
 		}
+		if explicit["transport"] {
+			trans = *transport
+		}
+	}
+	if trans != "http" && trans != "wire" {
+		log.Fatalf("-transport must be http or wire, got %q", trans)
 	}
 	if atk == "" && scale != 1 {
 		log.Fatalf("-aggro %g has no effect without an attack profile (the default bad clients are fixed Poisson λ=%g, w=%d)", scale, badLambda, badWindow)
@@ -289,6 +316,11 @@ func main() {
 		effective.Groups[1].Strategy = ""
 		effective.Groups[1].Aggressiveness = 0
 	}
+	if trans == "wire" {
+		// "http" stays the schema's empty default so pre-wire runs keep
+		// their hashes.
+		effective.Transport = trans
+	}
 	configHash := config.ShortHash(effective)
 
 	// Fail fast if the front is not there at all: a generator pointed at
@@ -302,6 +334,13 @@ func main() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+	if trans == "wire" {
+		wc, err := speakup.DialWire(*wireAddr)
+		if err != nil {
+			log.Fatalf("wire front unreachable at %s: %v (is thinnerd running with -wire-addr?)", *wireAddr, err)
+		}
+		wc.Close()
+	}
 
 	var ids atomic.Uint64
 	var good, bad []*loadgen.Client
@@ -311,6 +350,7 @@ func main() {
 			UploadBits: goodBW, PostBytes: postBytes, Seed: int64(i + 1),
 			RetryBudget: *retryBudget, RetryBase: *retryBase, RetryCap: *retryCap,
 			RequestTimeout: *reqTimeout,
+			Transport:      trans, WireAddr: *wireAddr,
 		}, &ids)
 		good = append(good, c)
 		c.Run()
@@ -321,6 +361,7 @@ func main() {
 			UploadBits: badBW, PostBytes: postBytes, Seed: int64(1000 + i),
 			RetryBudget: *retryBudget, RetryBase: *retryBase, RetryCap: *retryCap,
 			RequestTimeout: *reqTimeout,
+			Transport:      trans, WireAddr: *wireAddr,
 		}
 		if atk != "" {
 			cfg.Strategy = spec.New(cohort)
@@ -333,8 +374,12 @@ func main() {
 	if atk != "" {
 		profile = fmt.Sprintf("%s x%.2g", atk, scale)
 	}
-	log.Printf("load: %d good + %d bad clients [%s] at %.1f/%.1f Mbit/s against %s (config %s)",
-		nG, nB, profile, goodBW/1e6, badBW/1e6, *url, configHash)
+	frontDesc := *url
+	if trans == "wire" {
+		frontDesc = fmt.Sprintf("wire front %s (healthz via %s)", *wireAddr, *url)
+	}
+	log.Printf("load: %d good + %d bad clients [%s] at %.1f/%.1f Mbit/s against %s over %s (config %s)",
+		nG, nB, profile, goodBW/1e6, badBW/1e6, frontDesc, trans, configHash)
 
 	start := time.Now()
 	for time.Since(start) < dur {
@@ -365,6 +410,9 @@ func main() {
 	paid := sum.Good.PaidBytes + sum.Bad.PaidBytes
 	sum.AdmissionsPerSec = float64(served) / elapsed.Seconds()
 	sum.PaymentBitsPerSec = float64(paid) * 8 / elapsed.Seconds()
+	sum.Transport = trans
+	sum.IngestByTransport = map[string]float64{"http": 0, "wire": 0}
+	sum.IngestByTransport[trans] = sum.PaymentBitsPerSec
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -385,8 +433,8 @@ func main() {
 		fmt.Printf("retries: good %d, bad %d (budget %d)\n",
 			sum.Good.Retried, sum.Bad.Retried, *retryBudget)
 	}
-	fmt.Printf("throughput: %.1f admissions/sec, payment ingest %.1f Mbit/s\n",
-		sum.AdmissionsPerSec, sum.PaymentBitsPerSec/1e6)
+	fmt.Printf("throughput: %.1f admissions/sec, payment ingest %.1f Mbit/s over the %s front\n",
+		sum.AdmissionsPerSec, sum.PaymentBitsPerSec/1e6, trans)
 	fmt.Printf("latency (ms): good p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f   bad p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f\n",
 		sum.Good.LatencyP50Ms, sum.Good.LatencyP90Ms, sum.Good.LatencyP99Ms,
 		sum.Good.LatencyP999Ms, sum.Good.LatencyMaxMs,

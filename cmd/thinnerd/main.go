@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	thinnerd [-addr :8080] [-capacity 10] [-orphan 10s]
-//	         [-scenario live_default] [-shards 0] [-drain 15s]
-//	         [-pprof localhost:6060]
+//	thinnerd [-addr :8080] [-wire-addr :8081] [-capacity 10]
+//	         [-orphan 10s] [-scenario live_default] [-shards 0]
+//	         [-drain 15s] [-pprof localhost:6060]
 //	         [-fault-drop 0.1] [-fault-delay 50ms] [-fault-reset 0.01]
 //	         [-fault-seed 1]
+//
+// -wire-addr adds a second listener speaking the binary framed
+// payment transport (internal/wire): persistent TCP connections
+// multiplexing OPEN/CREDIT/CLOSE frames against the same bid table,
+// auction, brownout ladder, and fault injector as the HTTP front.
+// Drive it with cmd/loadgen -transport wire.
 //
 // The -fault-* flags wrap the listener in a fault injector for
 // resilience testing: accepted connections are dropped outright with
@@ -46,6 +52,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -63,6 +70,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	wireAddr := flag.String("wire-addr", "", "optional binary payment-transport listen address (e.g. :8081)")
 	capacity := flag.Float64("capacity", 10, "origin capacity in requests/second")
 	orphan := flag.Duration("orphan", 10*time.Second, "evict request-less payment channels after this long")
 	scenarioFile := flag.String("scenario", "", "scenario file supplying capacity and thinner knobs (disk path or embedded configs/ name); explicit flags override")
@@ -157,6 +165,25 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	var wireSrv *speakup.WireServer
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cf.Enabled() {
+			// The same injector seed wraps both listeners, so chaos
+			// runs stress the binary transport too.
+			wln = speakup.WrapFaultListener(wln, cf)
+		}
+		wireSrv = speakup.NewWireServer(front, speakup.WireServerConfig{Registry: front.Registry()})
+		go func() {
+			if err := wireSrv.Serve(wln); err != nil {
+				errc <- fmt.Errorf("wire listener: %w", err)
+			}
+		}()
+		log.Printf("binary payment transport on %s (frames: OPEN/CREDIT/CLOSE)", *wireAddr)
+	}
 	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s, %d ingest shards)",
 		*addr, capRPS, front.Table().Shards())
 	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /healthz  /telemetry  /control/config")
@@ -169,6 +196,11 @@ func main() {
 	stop() // restore default signal handling: a second ^C kills hard
 
 	log.Printf("shutdown: draining in-flight requests for up to %s", *drain)
+	if wireSrv != nil {
+		// Wire connections are long-lived by design; close them
+		// outright (their waiters release) and let HTTP drain.
+		wireSrv.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -82,8 +82,12 @@ type Scenario struct {
 	Capacity float64 `json:"capacity"`
 	// Mode selects the front-end policy: "off", "auction",
 	// "random-drop", "hetero", or "profiling". Empty means "off".
-	Mode   string        `json:"mode"`
-	Groups []ClientGroup `json:"groups"`
+	Mode string `json:"mode"`
+	// Transport selects the listener live load generators drive:
+	// "http" (default when empty) or "wire", the binary framed payment
+	// transport. The simulator ignores it.
+	Transport string        `json:"transport,omitempty"`
+	Groups    []ClientGroup `json:"groups"`
 
 	Bottlenecks []Bottleneck `json:"bottlenecks,omitempty"`
 	Bystander   *Bystander   `json:"bystander,omitempty"`
@@ -267,6 +271,7 @@ func FromScenario(sc scenario.Config) Scenario {
 		Warmup:      Duration(sc.Warmup),
 		Capacity:    sc.Capacity,
 		Mode:        sc.Mode.String(),
+		Transport:   sc.Transport,
 		TrunkRate:   sc.TrunkRate,
 		TrunkDelay:  Duration(sc.TrunkDelay),
 		TrunkQueue:  sc.TrunkQueue,
@@ -376,6 +381,7 @@ func (s Scenario) Config() (scenario.Config, error) {
 		Warmup:      s.Warmup.D(),
 		Capacity:    s.Capacity,
 		Mode:        mode,
+		Transport:   s.Transport,
 		TrunkRate:   s.TrunkRate,
 		TrunkDelay:  s.TrunkDelay.D(),
 		TrunkQueue:  s.TrunkQueue,

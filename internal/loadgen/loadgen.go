@@ -19,6 +19,7 @@ import (
 	"speakup/internal/adversary"
 	"speakup/internal/core"
 	"speakup/internal/faults"
+	"speakup/internal/wire"
 )
 
 // Config tunes one load-generating client.
@@ -55,6 +56,14 @@ type Config struct {
 	// speak-up exchange (initial GET through payment to response).
 	// 0 means no deadline.
 	RequestTimeout time.Duration
+	// Transport selects how the client speaks to the front: "http"
+	// (default) walks GET /request + POST /pay; "wire" multiplexes
+	// OPEN/CREDIT frames over one persistent binary connection
+	// (internal/wire). Both carry identical speak-up semantics.
+	Transport string
+	// WireAddr is the wire listener's host:port (required with
+	// Transport "wire").
+	WireAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
+	}
+	if c.Transport == "" {
+		c.Transport = "http"
 	}
 	return c
 }
@@ -99,6 +111,11 @@ type Client struct {
 	started     time.Time    // strategy clocks run on elapsed time
 	outstanding atomic.Int64 // in-flight requests (strategy windowing)
 
+	// wire is the lazily dialed persistent binary connection all of
+	// this client's channels multiplex over (Transport "wire").
+	wireMu sync.Mutex
+	wire   *wire.Client
+
 	Stats Stats
 
 	stop chan struct{}
@@ -111,6 +128,15 @@ func NewClient(cfg Config, ids *atomic.Uint64) *Client {
 	cfg = cfg.withDefaults()
 	if cfg.Strategy == nil && (cfg.Lambda <= 0 || cfg.Window <= 0) {
 		panic("loadgen: Lambda and Window must be positive")
+	}
+	switch cfg.Transport {
+	case "http":
+	case "wire":
+		if cfg.WireAddr == "" {
+			panic("loadgen: Transport \"wire\" requires WireAddr")
+		}
+	default:
+		panic("loadgen: Transport must be \"http\" or \"wire\", got " + cfg.Transport)
 	}
 	return &Client{
 		cfg:    cfg,
@@ -135,6 +161,7 @@ func (c *Client) now() time.Duration { return time.Since(c.started) }
 func (c *Client) Stop() {
 	close(c.stop)
 	c.wg.Wait()
+	c.closeWire()
 }
 
 func (c *Client) arrivals() {
@@ -258,6 +285,9 @@ func (c *Client) url(path string, id core.RequestID, extra string) string {
 // retrying (transport error, brownout-style 5xx, eviction), and any
 // server-suggested Retry-After delay.
 func (c *Client) doRequest(id core.RequestID) (served bool, paid int64, retry bool, retryAfter time.Duration) {
+	if c.cfg.Transport == "wire" {
+		return c.doRequestWire(id)
+	}
 	ctx := context.Background()
 	cancel := func() {}
 	if c.cfg.RequestTimeout > 0 {

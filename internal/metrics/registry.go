@@ -24,6 +24,13 @@ type Registry struct {
 	shed           atomic.Uint64
 	brownouts      atomic.Uint64
 	health         atomic.Int32
+
+	// Wire-transport counters (internal/wire): the binary front
+	// records its connection gauge and per-read frame/byte tallies
+	// here so /telemetry covers both listeners.
+	wireConns  atomic.Int64
+	wireFrames atomic.Uint64
+	wireBytes  atomic.Int64
 }
 
 // RecordAdmit counts one admission. paid is the winning bid in bytes;
@@ -62,6 +69,22 @@ func (r *Registry) RecordBrownout(state int32) {
 // used for the recovering→ok transitions.
 func (r *Registry) RecordHealth(state int32) { r.health.Store(state) }
 
+// RecordWireConn moves the open wire-connection gauge by delta
+// (+1 on accept, -1 on teardown).
+func (r *Registry) RecordWireConn(delta int64) { r.wireConns.Add(delta) }
+
+// RecordWireRead accumulates one batched read's decode results:
+// frames completed and payment bytes credited. Called once per
+// socket Read, not per frame, to keep the hot path cheap.
+func (r *Registry) RecordWireRead(frames uint64, creditedBytes int64) {
+	if frames > 0 {
+		r.wireFrames.Add(frames)
+	}
+	if creditedBytes > 0 {
+		r.wireBytes.Add(creditedBytes)
+	}
+}
+
 // Snapshot is one telemetry observation — the NDJSON line shape of
 // thinnerd's /telemetry stream. The registry fills the thinner
 // counters; the snapshotting side (the live front) fills the
@@ -84,22 +107,31 @@ type Snapshot struct {
 	IngestMbps     float64 `json:"ingest_mbps"`
 	OpenChannels   int     `json:"open_channels"`
 	Contenders     int     `json:"contenders"`
+	// Wire-transport slice of the ingest: open binary connections,
+	// frames decoded, and payment bytes credited over internal/wire.
+	// IngestBytes minus WireIngestBytes is the HTTP share.
+	WireConns       int64  `json:"wire_conns"`
+	WireFrames      uint64 `json:"wire_frames"`
+	WireIngestBytes int64  `json:"wire_ingest_bytes"`
 }
 
 // Snapshot reads the registry's counters. Each field is individually
 // atomic; the set is not a consistent cut, which telemetry tolerates.
 func (r *Registry) Snapshot() Snapshot {
 	return Snapshot{
-		Admitted:       r.admitted.Load(),
-		AdmittedDirect: r.admittedDirect.Load(),
-		Auctions:       r.auctions.Load(),
-		Evicted:        r.evicted.Load(),
-		PaidBytes:      r.paidBytes.Load(),
-		WastedBytes:    r.wastedBytes.Load(),
-		GoingPrice:     r.goingPrice.Load(),
-		LastWinner:     r.lastWinner.Load(),
-		Shed:           r.shed.Load(),
-		Brownouts:      r.brownouts.Load(),
-		Health:         r.health.Load(),
+		Admitted:        r.admitted.Load(),
+		AdmittedDirect:  r.admittedDirect.Load(),
+		Auctions:        r.auctions.Load(),
+		Evicted:         r.evicted.Load(),
+		PaidBytes:       r.paidBytes.Load(),
+		WastedBytes:     r.wastedBytes.Load(),
+		GoingPrice:      r.goingPrice.Load(),
+		LastWinner:      r.lastWinner.Load(),
+		Shed:            r.shed.Load(),
+		Brownouts:       r.brownouts.Load(),
+		Health:          r.health.Load(),
+		WireConns:       r.wireConns.Load(),
+		WireFrames:      r.wireFrames.Load(),
+		WireIngestBytes: r.wireBytes.Load(),
 	}
 }

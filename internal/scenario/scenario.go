@@ -186,6 +186,12 @@ type Config struct {
 	// through the event loop. Empty (the default) injects nothing and
 	// adds no events, keeping fault-free runs byte-identical.
 	Faults faults.Plan
+
+	// Transport selects the listener live load generators drive: ""
+	// or "http" (the default GET/POST front) or "wire" (the binary
+	// framed payment transport; requires thinnerd's -wire-addr). The
+	// simulator models payment at the message level and ignores it.
+	Transport string
 }
 
 func (c Config) withDefaults() Config {
@@ -237,6 +243,11 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	if c.Capacity <= 0 {
 		return fmt.Errorf("scenario: Capacity must be positive, got %g", c.Capacity)
+	}
+	switch c.Transport {
+	case "", "http", "wire":
+	default:
+		return fmt.Errorf("scenario: Transport must be \"http\" or \"wire\", got %q", c.Transport)
 	}
 	for i, g := range c.Groups {
 		name := g.Name

@@ -210,15 +210,32 @@ func (c *ctlClock) After(d time.Duration, fn func()) func() {
 	return func() { t.Stop() }
 }
 
+// Now reads the front's clock (the epoch its thinner, payment
+// channels, and sweep share). Additional transports (internal/wire)
+// stamp their credits with it so both listeners age channels alike.
+func (f *Front) Now() time.Duration { return time.Since(f.started) }
+
 // now is the Front's clock reading (same epoch the thinner sees).
-func (f *Front) now() time.Duration { return time.Since(f.started) }
+func (f *Front) now() time.Duration { return f.Now() }
+
+// deliver hands a taken waiter its outcome: the HTTP front parks
+// waiters as buffered channels, other transports register a
+// core.Waiter. A nil body means evicted.
+func deliver(w any, body []byte) {
+	switch w := w.(type) {
+	case chan []byte:
+		w <- body // buffered; the waiter may also have given up
+	case core.Waiter:
+		w.Deliver(body)
+	}
+}
 
 // admit (called with ctl held, from the thinner core) collects the
 // held request's waiter and dispatches the request to the origin on
 // its own goroutine. The winner's payment POST learns of the admission
 // from its channel's state word, which the core flipped on settle.
 func (f *Front) admit(id core.RequestID, paid int64) {
-	w, _ := f.table.TakeWaiter(id).(chan []byte)
+	w := f.table.TakeWaiter(id)
 	go func() {
 		// Watchdog: a Serve call that exceeds OriginStallAfter browns
 		// the thinner out. The done flag is flipped under ctl, so the
@@ -241,9 +258,7 @@ func (f *Front) admit(id core.RequestID, paid int64) {
 			body = []byte{}
 		}
 		f.served.Add(1)
-		if w != nil {
-			w <- body // buffered; the waiter may also have given up
-		}
+		deliver(w, body)
 		f.ctl.Lock()
 		done.Store(true)
 		watchdog.Stop()
@@ -263,10 +278,50 @@ func (f *Front) evict(id core.RequestID, paid int64, wasted bool) {
 	if !wasted {
 		return // auction winner: admit delivers the response
 	}
-	if w, _ := f.table.TakeWaiter(id).(chan []byte); w != nil {
-		w <- nil
-	}
+	deliver(f.table.TakeWaiter(id), nil)
 }
+
+// Arrive runs the front's pinned arrival protocol for a re-issued
+// (waiting) request on behalf of any transport: under the control
+// mutex it sheds during a brownout, rejects a duplicate id, and
+// otherwise registers w as the id's waiter and announces the arrival
+// to the thinner. The HTTP wait path and the wire front's OPEN both
+// land here, so the 503/409/held semantics cannot drift apart.
+func (f *Front) Arrive(id core.RequestID, w any) core.ArriveVerdict {
+	f.ctl.Lock()
+	defer f.ctl.Unlock()
+	if f.th.Health() == core.HealthStalled {
+		// Origin brownout: shed fast with a retry hint instead of
+		// stranding this client as a waiter the origin cannot drain.
+		// Contenders already holding channels keep their balances.
+		f.th.ShedArrival(id)
+		return core.ArriveShed
+	}
+	if !f.table.SetWaiter(id, w) {
+		// A request with this id is already held. Overwriting would
+		// strand the earlier waiter until RequestTimeout.
+		return core.ArriveDuplicate
+	}
+	f.th.RequestArrived(id)
+	return core.ArriveOK
+}
+
+// Channel resolves id's payment channel at the front's clock — the
+// wire transport's credit path (the /pay handler resolves inline).
+func (f *Front) Channel(id core.RequestID) *core.PayChan {
+	return f.table.Channel(id, f.now())
+}
+
+// ReleaseWaiter drops w's registration for id if it is still the
+// current waiter — a transport's client gave up (HTTP: request
+// context canceled; wire: CLOSE frame or connection teardown).
+func (f *Front) ReleaseWaiter(id core.RequestID, w any) {
+	f.table.DropWaiter(id, w)
+}
+
+// Registry exposes the front's telemetry registry so additional
+// transports record into the same /telemetry stream.
+func (f *Front) Registry() *metrics.Registry { return &f.reg }
 
 // ServeHTTP implements http.Handler.
 func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -309,35 +364,44 @@ func (f *Front) handleRequest(w http.ResponseWriter, r *http.Request) {
 	wait := r.URL.Query().Get("wait") != ""
 
 	ch := make(chan []byte, 1)
-	f.ctl.Lock()
-	if f.th.Health() == core.HealthStalled {
-		// Origin brownout: shed fast with a retry hint instead of
-		// stranding this client as a waiter the origin cannot drain.
-		// Contenders already holding channels keep their balances.
-		f.th.ShedArrival(id)
+	var verdict core.ArriveVerdict
+	if wait {
+		verdict = f.Arrive(id, ch)
+	} else {
+		// The initial (non-waiting) request additionally probes whether
+		// the origin is busy — the 402 leg Arrive has no analog for —
+		// under the same lock, between the brownout check and the
+		// waiter registration.
+		f.ctl.Lock()
+		switch {
+		case f.th.Health() == core.HealthStalled:
+			f.th.ShedArrival(id)
+			verdict = core.ArriveShed
+		case f.th.Busy():
+			f.ctl.Unlock()
+			// The "JavaScript" reply: open a payment channel and re-issue.
+			w.Header().Set("Speakup-Action", "pay")
+			w.WriteHeader(http.StatusPaymentRequired)
+			fmt.Fprintln(w, "server busy: stream dummy bytes to /pay and re-issue with &wait=1")
+			return
+		case !f.table.SetWaiter(id, ch):
+			verdict = core.ArriveDuplicate
+		default:
+			f.th.RequestArrived(id)
+			verdict = core.ArriveOK
+		}
 		f.ctl.Unlock()
+	}
+	switch verdict {
+	case core.ArriveShed:
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "origin brownout: auctions paused, retry shortly", http.StatusServiceUnavailable)
 		return
-	}
-	if !wait && f.th.Busy() {
-		f.ctl.Unlock()
-		// The "JavaScript" reply: open a payment channel and re-issue.
-		w.Header().Set("Speakup-Action", "pay")
-		w.WriteHeader(http.StatusPaymentRequired)
-		fmt.Fprintln(w, "server busy: stream dummy bytes to /pay and re-issue with &wait=1")
-		return
-	}
-	if !f.table.SetWaiter(id, ch) {
-		// A request with this id is already held. Overwriting would
-		// strand the earlier goroutine until RequestTimeout.
-		f.ctl.Unlock()
+	case core.ArriveDuplicate:
 		http.Error(w, "duplicate request id: a request with this id is already waiting",
 			http.StatusConflict)
 		return
 	}
-	f.th.RequestArrived(id)
-	f.ctl.Unlock()
 
 	select {
 	case body := <-ch:

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"speakup/internal/core"
+)
+
+// Status classifies one server→client event, mirroring the HTTP
+// status the same outcome carries on the other listener.
+type Status int
+
+const (
+	// StatusAdmitted: served; Result.Body holds the origin's response
+	// (HTTP 200).
+	StatusAdmitted Status = iota
+	// StatusEvicted: the payment channel timed out (HTTP 503).
+	StatusEvicted
+	// StatusRejected: duplicate request id (HTTP 409).
+	StatusRejected
+	// StatusShed: origin brownout, retry shortly (HTTP 503 +
+	// Retry-After).
+	StatusShed
+	// StatusError: the connection failed before a verdict arrived.
+	StatusError
+)
+
+// String names the status for reports.
+func (s Status) String() string {
+	switch s {
+	case StatusAdmitted:
+		return "admitted"
+	case StatusEvicted:
+		return "evicted"
+	case StatusRejected:
+		return "rejected"
+	case StatusShed:
+		return "shed"
+	}
+	return "error"
+}
+
+// Result is the terminal outcome of one opened channel.
+type Result struct {
+	Status Status
+	Body   []byte
+	Err    error
+}
+
+// Client speaks the wire protocol over one persistent connection,
+// multiplexing any number of payment channels. Methods are safe for
+// concurrent use; each opened channel's outcome arrives on its own
+// buffered result channel.
+type Client struct {
+	nc net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	junk []byte     // zero-fill CREDIT payload source
+
+	mu     sync.Mutex
+	calls  map[uint64]chan Result
+	err    error
+	closed bool
+}
+
+// Dial connects a wire client to a server address.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe-like
+// transports; Dial is the usual entry).
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:    nc,
+		junk:  make([]byte, 1<<20),
+		calls: make(map[uint64]chan Result),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; every pending call resolves with
+// StatusError.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.fail(net.ErrClosed)
+	return err
+}
+
+// fail resolves every pending call with an error, once.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	calls := c.calls
+	c.calls = nil
+	c.mu.Unlock()
+	for _, ch := range calls {
+		select {
+		case ch <- Result{Status: StatusError, Err: err}:
+		default:
+		}
+	}
+}
+
+// Err returns the connection's terminal error, nil while it is alive.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Client) writeFrame(op byte, ch uint64, payload []byte) error {
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], op, ch, len(payload))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var err error
+	if len(payload) > 0 {
+		// writev: header and payload in one syscall, no concatenation.
+		bufs := net.Buffers{hdr[:], payload}
+		_, err = bufs.WriteTo(c.nc)
+	} else {
+		_, err = c.nc.Write(hdr[:])
+	}
+	return err
+}
+
+// Open declares the re-issued request for id and returns the channel
+// its terminal outcome will arrive on (buffered: never blocks the
+// reader). Opening an id that is already pending on this client is an
+// error — the server would 409 it anyway.
+func (c *Client) Open(id core.RequestID) (<-chan Result, error) {
+	res := make(chan Result, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := c.calls[uint64(id)]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: channel %d already open on this client", id)
+	}
+	c.calls[uint64(id)] = res
+	c.mu.Unlock()
+	if err := c.writeFrame(OpOpen, uint64(id), nil); err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	return res, nil
+}
+
+// Credit streams n payment bytes for id as one or more CREDIT frames
+// (1 MB max each). The payload content is junk by design — only its
+// length pays.
+func (c *Client) Credit(id core.RequestID, n int) error {
+	for n > 0 {
+		k := min(n, len(c.junk))
+		if err := c.writeFrame(OpCredit, uint64(id), c.junk[:k]); err != nil {
+			c.fail(err)
+			return err
+		}
+		n -= k
+	}
+	return nil
+}
+
+// CloseChannel abandons id's request: the server releases the waiter
+// and the pending call resolves locally with StatusError.
+func (c *Client) CloseChannel(id core.RequestID) error {
+	c.mu.Lock()
+	ch := c.calls[uint64(id)]
+	delete(c.calls, uint64(id))
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- Result{Status: StatusError, Err: errors.New("wire: channel closed by client")}:
+		default:
+		}
+	}
+	return c.writeFrame(OpClose, uint64(id), nil)
+}
+
+// readLoop parses server→client events and resolves their calls.
+// Events for unknown channels (a late EVICT after CloseChannel, an
+// orphan settle for a pay-only channel) are dropped.
+func (c *Client) readLoop() {
+	var hdr [HeaderSize]byte
+	for {
+		if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+			c.fail(err)
+			return
+		}
+		length := int(binary.BigEndian.Uint32(hdr[0:4]))
+		op := hdr[4]
+		ch := binary.BigEndian.Uint64(hdr[5:13])
+		if length > MaxPayload {
+			c.fail(fmt.Errorf("wire: event payload %d exceeds cap %d", length, MaxPayload))
+			return
+		}
+		var body []byte
+		if length > 0 {
+			body = make([]byte, length)
+			if _, err := io.ReadFull(c.nc, body); err != nil {
+				c.fail(err)
+				return
+			}
+		}
+		var st Status
+		switch op {
+		case OpAdmit:
+			st = StatusAdmitted
+		case OpEvict:
+			st = StatusEvicted
+		case OpReject:
+			st = StatusRejected
+		case OpShed:
+			st = StatusShed
+		default:
+			c.fail(fmt.Errorf("wire: unknown server opcode %#x", op))
+			return
+		}
+		c.mu.Lock()
+		res := c.calls[ch]
+		delete(c.calls, ch)
+		c.mu.Unlock()
+		if res != nil {
+			select {
+			case res <- Result{Status: st, Body: body}:
+			default:
+			}
+		}
+	}
+}

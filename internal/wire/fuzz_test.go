@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSink tallies callbacks; the event log captures order and
+// arguments so two decoders can be compared exactly.
+type fuzzSink struct {
+	log      bytes.Buffer
+	credited int64
+}
+
+func (s *fuzzSink) Open(ch uint64) {
+	s.log.WriteString("O")
+	s.log.WriteByte(byte(ch))
+}
+
+func (s *fuzzSink) Credit(ch uint64, n int, first bool) {
+	// Spans differ by segmentation, so only the per-channel running
+	// total is order-comparable — fold spans into the credited sum and
+	// log frame-initial markers per channel.
+	s.credited += int64(n)
+	if first {
+		s.log.WriteString("C")
+		s.log.WriteByte(byte(ch))
+	}
+}
+
+func (s *fuzzSink) Close(ch uint64) {
+	s.log.WriteString("X")
+	s.log.WriteByte(byte(ch))
+}
+
+// FuzzFrameDecoder hammers the incremental decoder with arbitrary
+// byte streams: it must never panic, never credit more bytes than it
+// was fed, and — fed the identical stream whole or one byte at a time
+// — produce the identical frames, credits, events, and error. Crashes
+// here would be remotely triggerable by any wire client.
+func FuzzFrameDecoder(f *testing.F) {
+	seed := func(frames ...[]byte) []byte {
+		var b []byte
+		for _, fr := range frames {
+			b = append(b, fr...)
+		}
+		return b
+	}
+	// A clean conversation: OPEN, two CREDITs, CLOSE.
+	f.Add(seed(frame(OpOpen, 1, nil), frame(OpCredit, 1, make([]byte, 64)),
+		frame(OpCredit, 1, make([]byte, 3)), frame(OpClose, 1, nil)))
+	// Interleaved channels.
+	f.Add(seed(frame(OpCredit, 1, []byte("aa")), frame(OpCredit, 2, []byte("bbb")),
+		frame(OpCredit, 1, []byte("c"))))
+	// Truncated mid-payload and mid-header.
+	f.Add(seed(frame(OpCredit, 7, make([]byte, 100)))[:HeaderSize+10])
+	f.Add(seed(frame(OpOpen, 3, nil))[:5])
+	// Oversized declared length.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, OpCredit, 0, 0, 0, 0, 0, 0, 0, 1})
+	// Unknown opcode.
+	f.Add(seed(frame(0x42, 9, nil)))
+	// Empty CREDIT and a server-direction opcode.
+	f.Add(seed(frame(OpCredit, 5, nil), frame(OpAdmit, 5, nil)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole := &Decoder{}
+		ws := &fuzzSink{}
+		werr := whole.Feed(data, ws)
+
+		if ws.credited > int64(len(data)) {
+			t.Fatalf("over-credit: %d bytes credited from a %d-byte stream", ws.credited, len(data))
+		}
+
+		bywise := &Decoder{}
+		bs := &fuzzSink{}
+		var berr error
+		for i := range data {
+			if berr = bywise.Feed(data[i:i+1], bs); berr != nil {
+				break
+			}
+		}
+
+		if (werr == nil) != (berr == nil) {
+			t.Fatalf("segmentation changed the verdict: whole=%v bytewise=%v", werr, berr)
+		}
+		if werr != nil && werr.Error() != berr.Error() {
+			t.Fatalf("segmentation changed the error: %q vs %q", werr, berr)
+		}
+		if ws.credited != bs.credited {
+			t.Fatalf("segmentation changed credits: %d vs %d", ws.credited, bs.credited)
+		}
+		if whole.Frames() != bywise.Frames() {
+			t.Fatalf("segmentation changed frame count: %d vs %d", whole.Frames(), bywise.Frames())
+		}
+		if !bytes.Equal(ws.log.Bytes(), bs.log.Bytes()) {
+			t.Fatalf("segmentation changed events: %q vs %q", ws.log.Bytes(), bs.log.Bytes())
+		}
+	})
+}

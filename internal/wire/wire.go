@@ -1,0 +1,180 @@
+// Package wire implements speak-up's binary framed payment transport:
+// a length-prefixed protocol over persistent TCP in which one
+// connection multiplexes many payment channels. It exists because the
+// thinner's whole job is absorbing payment bytes "as fast as the
+// hardware allows" (paper §3), and HTTP chunked encoding taxes every
+// chunk with framing, header parsing, and a goroutine per POST while
+// the BidTable credit itself is a few atomics.
+//
+// Frame layout (big-endian), identical in both directions:
+//
+//	offset size  field
+//	0      4     payload length (bytes; 0 permitted)
+//	4      1     opcode
+//	5      8     channel id (the request id)
+//	13     -     payload
+//
+// Client→server opcodes: OPEN declares the re-issued request (the
+// HTTP front's GET /request?wait=1) and must carry no payload; CREDIT
+// carries payment bytes — the payload content is ignored, its length
+// is the payment, credited incrementally as the bytes land so a
+// partially received frame has already paid; CLOSE abandons the
+// request (HTTP: canceling the held GET), also payload-free.
+//
+// Server→client opcodes mirror the HTTP front's pinned status codes:
+// ADMIT (200; payload = the origin's response body, or empty when a
+// never-OPENed channel settles), EVICT (503 eviction), REJECT (409
+// duplicate id), SHED (503 + Retry-After brownout).
+//
+// Reads are batched: the server drains whatever one socket Read
+// returns through an incremental Decoder, so many small CREDIT frames
+// cost one syscall, and per-read tallies land on the metrics registry
+// once. Server→client events are coalesced per connection: a writer
+// goroutine drains an event queue through one buffered writer and
+// flushes when the queue goes idle.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcodes. Client→server ops sit in 0x01-0x0f, server→client events
+// in 0x11-0x1f, so a direction error is unmistakable on the wire.
+const (
+	OpOpen   byte = 0x01
+	OpCredit byte = 0x02
+	OpClose  byte = 0x03
+
+	OpAdmit  byte = 0x11
+	OpEvict  byte = 0x12
+	OpReject byte = 0x13
+	OpShed   byte = 0x14
+)
+
+// HeaderSize is the fixed frame-header length in bytes.
+const HeaderSize = 13
+
+// MaxPayload caps a frame's declared payload length. CREDIT payloads
+// arrive in pieces and never materialize, so the cap exists to bound
+// event payloads and reject absurd length prefixes early, not to size
+// buffers.
+const MaxPayload = 16 << 20
+
+// PutHeader encodes a frame header into b, which must hold at least
+// HeaderSize bytes.
+func PutHeader(b []byte, op byte, ch uint64, payloadLen int) {
+	binary.BigEndian.PutUint32(b[0:4], uint32(payloadLen))
+	b[4] = op
+	binary.BigEndian.PutUint64(b[5:13], ch)
+}
+
+// Sink receives the decoded stream. The server's per-connection state
+// implements it; the fuzz harness substitutes a counting sink.
+type Sink interface {
+	// Open reports an OPEN frame for channel ch.
+	Open(ch uint64)
+	// Credit reports n payload bytes of a CREDIT frame for ch landing.
+	// first marks the first span of a frame (its header was just
+	// decoded); a frame split across reads reports several spans, and
+	// an empty CREDIT reports one (first, n=0) span.
+	Credit(ch uint64, n int, first bool)
+	// Close reports a CLOSE frame for channel ch.
+	Close(ch uint64)
+}
+
+// Decoder is the incremental frame decoder: feed it the bytes of each
+// socket read and it invokes the sink as frames complete. A partial
+// header is buffered across feeds; CREDIT payload bytes are never
+// buffered at all — they are reported span by span and discarded,
+// which is what makes one decoder serve arbitrarily large payment
+// frames with a fixed-size read buffer.
+//
+// Protocol violations (unknown opcode, oversized length, payload on a
+// payload-free opcode) return an error, and the error is sticky:
+// every later Feed returns it again, so a caller cannot accidentally
+// resynchronize mid-stream.
+type Decoder struct {
+	// MaxPayload overrides the package cap when positive (tests).
+	MaxPayload int
+
+	hdr     [HeaderSize]byte
+	hdrLen  int
+	op      byte
+	ch      uint64
+	payLeft int    // undelivered payload bytes of the current frame
+	inFrame bool   // header decoded, payload (possibly empty) pending
+	frames  uint64 // completed frames
+	err     error
+}
+
+// Frames returns the number of completed frames decoded so far.
+func (d *Decoder) Frames() uint64 { return d.frames }
+
+func (d *Decoder) cap() int {
+	if d.MaxPayload > 0 {
+		return d.MaxPayload
+	}
+	return MaxPayload
+}
+
+// Feed consumes b, dispatching completed frames and payload spans to
+// sink. It returns the decoder's sticky error on protocol violations.
+func (d *Decoder) Feed(b []byte, sink Sink) error {
+	if d.err != nil {
+		return d.err
+	}
+	for len(b) > 0 || (d.inFrame && d.payLeft == 0) {
+		if !d.inFrame {
+			n := copy(d.hdr[d.hdrLen:], b)
+			d.hdrLen += n
+			b = b[n:]
+			if d.hdrLen < HeaderSize {
+				return nil // partial header: wait for the next read
+			}
+			d.hdrLen = 0
+			length := int(binary.BigEndian.Uint32(d.hdr[0:4]))
+			d.op = d.hdr[4]
+			d.ch = binary.BigEndian.Uint64(d.hdr[5:13])
+			if length > d.cap() {
+				d.err = fmt.Errorf("wire: frame payload %d exceeds cap %d", length, d.cap())
+				return d.err
+			}
+			switch d.op {
+			case OpOpen, OpClose:
+				if length != 0 {
+					d.err = fmt.Errorf("wire: opcode %#x must carry no payload, declared %d bytes", d.op, length)
+					return d.err
+				}
+			case OpCredit:
+			default:
+				d.err = fmt.Errorf("wire: unknown client opcode %#x", d.op)
+				return d.err
+			}
+			d.payLeft = length
+			d.inFrame = true
+			if d.op == OpCredit {
+				span := min(d.payLeft, len(b))
+				sink.Credit(d.ch, span, true)
+				d.payLeft -= span
+				b = b[span:]
+			}
+		} else if d.payLeft > 0 {
+			span := min(d.payLeft, len(b))
+			sink.Credit(d.ch, span, false)
+			d.payLeft -= span
+			b = b[span:]
+		}
+		if d.inFrame && d.payLeft == 0 {
+			d.inFrame = false
+			d.frames++
+			switch d.op {
+			case OpOpen:
+				sink.Open(d.ch)
+			case OpClose:
+				sink.Close(d.ch)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// recSink records every decoder callback in order, as comparable
+// strings, plus running totals.
+type recSink struct {
+	events   []string
+	credited int64
+	opens    int
+	closes   int
+}
+
+func (s *recSink) Open(ch uint64) {
+	s.opens++
+	s.events = append(s.events, "open")
+}
+
+func (s *recSink) Credit(ch uint64, n int, first bool) {
+	s.credited += int64(n)
+}
+
+func (s *recSink) Close(ch uint64) {
+	s.closes++
+	s.events = append(s.events, "close")
+}
+
+func frame(op byte, ch uint64, payload []byte) []byte {
+	b := make([]byte, HeaderSize+len(payload))
+	PutHeader(b, op, ch, len(payload))
+	copy(b[HeaderSize:], payload)
+	return b
+}
+
+func TestPutHeaderRoundTrip(t *testing.T) {
+	var b [HeaderSize]byte
+	PutHeader(b[:], OpCredit, 0xdeadbeefcafe, 12345)
+	if got := binary.BigEndian.Uint32(b[0:4]); got != 12345 {
+		t.Fatalf("length = %d, want 12345", got)
+	}
+	if b[4] != OpCredit {
+		t.Fatalf("opcode = %#x, want %#x", b[4], OpCredit)
+	}
+	if got := binary.BigEndian.Uint64(b[5:13]); got != 0xdeadbeefcafe {
+		t.Fatalf("channel = %#x, want 0xdeadbeefcafe", got)
+	}
+}
+
+// TestDecoderSegmentationInvariance feeds the same byte stream whole,
+// one byte at a time, and in awkward 7-byte slabs: the decoded frame
+// count, credited total, and event order must not depend on how the
+// socket happened to chop the stream.
+func TestDecoderSegmentationInvariance(t *testing.T) {
+	var stream []byte
+	stream = append(stream, frame(OpOpen, 1, nil)...)
+	stream = append(stream, frame(OpCredit, 1, make([]byte, 100))...)
+	stream = append(stream, frame(OpCredit, 2, make([]byte, 7))...) // interleaved pay-only channel
+	stream = append(stream, frame(OpCredit, 1, nil)...)             // empty CREDIT is legal
+	stream = append(stream, frame(OpClose, 1, nil)...)
+
+	feed := func(chunk int) *recSink {
+		d := &Decoder{}
+		s := &recSink{}
+		for i := 0; i < len(stream); i += chunk {
+			end := min(i+chunk, len(stream))
+			if err := d.Feed(stream[i:end], s); err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+		}
+		if d.Frames() != 5 {
+			t.Fatalf("chunk %d: frames = %d, want 5", chunk, d.Frames())
+		}
+		return s
+	}
+
+	want := feed(len(stream))
+	for _, chunk := range []int{1, 7, 13, 64} {
+		got := feed(chunk)
+		if got.credited != want.credited || got.opens != want.opens || got.closes != want.closes {
+			t.Fatalf("chunk %d: %+v, want %+v", chunk, got, want)
+		}
+	}
+	if want.credited != 107 {
+		t.Fatalf("credited = %d, want 107", want.credited)
+	}
+}
+
+// TestDecoderPartialFrameAlreadyPaid: a CREDIT frame split across
+// reads credits the received span immediately — the defining property
+// that makes partially received payments count.
+func TestDecoderPartialFrameAlreadyPaid(t *testing.T) {
+	d := &Decoder{}
+	s := &recSink{}
+	f := frame(OpCredit, 9, make([]byte, 1000))
+	if err := d.Feed(f[:HeaderSize+400], s); err != nil {
+		t.Fatal(err)
+	}
+	if s.credited != 400 {
+		t.Fatalf("credited after partial frame = %d, want 400", s.credited)
+	}
+	if d.Frames() != 0 {
+		t.Fatalf("frames = %d, want 0 (frame incomplete)", d.Frames())
+	}
+	if err := d.Feed(f[HeaderSize+400:], s); err != nil {
+		t.Fatal(err)
+	}
+	if s.credited != 1000 || d.Frames() != 1 {
+		t.Fatalf("credited=%d frames=%d, want 1000/1", s.credited, d.Frames())
+	}
+}
+
+func TestDecoderViolationsAreSticky(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"unknown opcode", frame(0x7f, 1, nil), "unknown client opcode"},
+		{"server opcode from client", frame(OpAdmit, 1, nil), "unknown client opcode"},
+		{"oversized length", frame(OpCredit, 1, nil)[:HeaderSize], "exceeds cap"},
+		{"payload on OPEN", frame(OpOpen, 1, nil), "no payload"},
+		{"payload on CLOSE", frame(OpClose, 1, nil), "no payload"},
+	}
+	// Patch the declared lengths for the cases that need them.
+	binary.BigEndian.PutUint32(cases[2].b[0:4], 1<<31)
+	binary.BigEndian.PutUint32(cases[3].b[0:4], 5)
+	binary.BigEndian.PutUint32(cases[4].b[0:4], 5)
+
+	for _, tc := range cases {
+		d := &Decoder{}
+		s := &recSink{}
+		err := d.Feed(tc.b, s)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+		// Sticky: a later, perfectly valid feed still fails.
+		if err2 := d.Feed(frame(OpCredit, 1, []byte("x")), s); err2 != err {
+			t.Fatalf("%s: error not sticky: %v then %v", tc.name, err, err2)
+		}
+		if s.credited != 0 {
+			t.Fatalf("%s: credited %d bytes after violation", tc.name, s.credited)
+		}
+	}
+}
+
+func TestDecoderMaxPayloadOverride(t *testing.T) {
+	d := &Decoder{MaxPayload: 10}
+	s := &recSink{}
+	if err := d.Feed(frame(OpCredit, 1, make([]byte, 10)), s); err != nil {
+		t.Fatalf("at-cap frame rejected: %v", err)
+	}
+	err := d.Feed(frame(OpCredit, 1, make([]byte, 11)), s)
+	if err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("over-cap frame accepted: %v", err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
 	"speakup/internal/web"
+	"speakup/internal/wire"
 )
 
 // Re-exported configuration and result types for simulations.
@@ -327,5 +328,40 @@ const (
 // a zero f the listener is returned unchanged.
 func WrapFaultListener(l net.Listener, f ConnFaults) net.Listener { return faults.WrapListener(l, f) }
 
+// Binary framed payment transport (internal/wire): a second listener
+// for the same Front, multiplexing many payment channels as
+// length-prefixed OPEN/CREDIT/CLOSE frames over persistent TCP —
+// payment ingest without HTTP's per-chunk tax. Serve it next to the
+// HTTP listener (cmd/thinnerd's -wire-addr does exactly this):
+//
+//	ws := speakup.NewWireServer(front, speakup.WireServerConfig{Registry: front.Registry()})
+//	ln, _ := net.Listen("tcp", ":8081")
+//	go ws.Serve(ln)
+type (
+	// WireServer serves the binary payment transport for a Front.
+	WireServer = wire.Server
+	// WireServerConfig tunes a WireServer.
+	WireServerConfig = wire.ServerConfig
+	// WireBackend is the front interface a WireServer drives.
+	WireBackend = wire.Backend
+	// WireClient multiplexes payment channels over one connection.
+	WireClient = wire.Client
+	// WireResult is one opened channel's terminal outcome.
+	WireResult = wire.Result
+	// WireStatus classifies a WireResult (admitted/evicted/...).
+	WireStatus = wire.Status
+)
+
+// NewWireServer creates a wire-protocol server for a backend front.
+func NewWireServer(be WireBackend, cfg WireServerConfig) *WireServer {
+	return wire.NewServer(be, cfg)
+}
+
+// DialWire connects a wire client to a server address.
+func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
+
 // Handler is a convenience assertion that Front serves HTTP.
 var _ http.Handler = (*web.Front)(nil)
+
+// The live front serves the binary transport too.
+var _ wire.Backend = (*web.Front)(nil)
