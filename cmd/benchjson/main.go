@@ -56,6 +56,13 @@
 // denominator is what predicts how much attacker bandwidth one core
 // can absorb — speak-up's defining capacity.
 //
+// PR 9 prices the observability layer: the PR 8 wire-ingest harness
+// run with lifecycle tracing off, at the production sampling rate
+// (1 in 1024 ids), and at an aggressive 1 in 16, reported as goodput
+// retention versus tracing-off. The tracer's contract is that a
+// sampled-out id pays one hash on the credit path and a sampled-in id
+// pays a handful of atomic adds, so retention should sit at ~1.0.
+//
 // -pr 2 re-emits the PR 2 simulator measurements (sweep_serial,
 // event_loop) for trajectory continuity.
 //
@@ -68,9 +75,11 @@
 //	go run ./cmd/benchjson -pr 4 -dur 10s   # adversary sweep events/sec
 //	go run ./cmd/benchjson -pr 7 -dur 25s   # fault-frontier retention
 //	go run ./cmd/benchjson -pr 8 -window 8s # wire vs HTTP goodput/CPU-sec
+//	go run ./cmd/benchjson -pr 9 -window 8s # goodput retention under tracing
 package main
 
 import (
+	"cmp"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,6 +88,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -91,6 +101,7 @@ import (
 	"speakup/internal/scenario"
 	"speakup/internal/sim"
 	"speakup/internal/sweep"
+	"speakup/internal/trace"
 	"speakup/internal/web"
 	"speakup/internal/wire"
 )
@@ -283,8 +294,10 @@ func measureConcurrentIngest(streams int, window time.Duration) metricsJSON {
 // harness: the same blocked-origin front, the same stream count, but
 // the payment bytes arrive as CREDIT frames multiplexed over a few
 // persistent TCP connections (streams/4 conns, like a real botnet
-// client pool) instead of one chunked POST per stream.
-func measureWireIngest(streams int, window time.Duration) metricsJSON {
+// client pool) instead of one chunked POST per stream. sample > 0
+// additionally arms request-lifecycle tracing at one-in-sample ids —
+// the -pr 9 goodput-retention axis; 0 runs with tracing off.
+func measureWireIngest(streams int, window time.Duration, sample int) metricsJSON {
 	block := make(chan struct{})
 	origin := web.OriginFunc(func(id core.RequestID) ([]byte, error) {
 		<-block
@@ -296,8 +309,9 @@ func measureWireIngest(streams int, window time.Duration) metricsJSON {
 			InactivityTimeout: time.Hour,
 			SweepInterval:     time.Hour,
 		},
+		Trace: trace.Config{Sample: sample},
 	})
-	wsrv := wire.NewServer(front, wire.ServerConfig{})
+	wsrv := wire.NewServer(front, wire.ServerConfig{Tracer: front.Tracer()})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -367,6 +381,11 @@ func measureWireIngest(streams int, window time.Duration) metricsJSON {
 		MbitPerSec:  bps * 8 / 1e6,
 		Note: fmt.Sprintf("%d payment channels as CREDIT frames over %d persistent conns, %.1fs window, server-side credited bytes",
 			streams, nConns, elapsed.Seconds()),
+	}
+	if sample > 0 {
+		n := front.Tracer().SampleN()
+		m.Name = fmt.Sprintf("wire_ingest_sample_%d", n)
+		m.Note += fmt.Sprintf("; lifecycle tracing armed at 1 in %d ids", n)
 	}
 	if cpu > 0 {
 		m.BytesPerCPUSec = float64(credited) / cpu
@@ -739,7 +758,7 @@ func measureEventLoop() metricsJSON {
 }
 
 func main() {
-	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, 5, 7, or 8)")
+	pr := flag.Int("pr", 5, "which PR's benchmark set to run (2, 3, 4, 5, 7, 8, or 9)")
 	out := flag.String("out", "", "output file (default BENCH_PR<n>.json)")
 	streams := flag.Int("streams", 32, "concurrent payment streams for the ingest window")
 	window := flag.Duration("window", 8*time.Second, "ingest measurement window")
@@ -846,7 +865,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %.1f Mbit/s, %.1f MB per CPU-second\n",
 			httpRow.MbitPerSec, httpRow.BytesPerCPUSec/1e6)
 		fmt.Fprintf(os.Stderr, "benchjson: measuring wire ingest goodput (%d channels, %s) ...\n", *streams, *window)
-		wireRow := measureWireIngest(*streams, *window)
+		wireRow := measureWireIngest(*streams, *window, 0)
 		fmt.Fprintf(os.Stderr, "  %.1f Mbit/s, %.1f MB per CPU-second\n",
 			wireRow.MbitPerSec, wireRow.BytesPerCPUSec/1e6)
 		f.Baseline = httpRow
@@ -856,6 +875,50 @@ func main() {
 		if httpRow.BytesPerCPUSec > 0 {
 			f.Speedup = wireRow.BytesPerCPUSec / httpRow.BytesPerCPUSec
 		}
+	case 9:
+		// Loopback ingest on a small host swings tens of percent run to
+		// run (scheduler placement, frequency scaling, container CPU
+		// burst that favors whatever runs first) — far more than any
+		// tracing cost. So: one discarded warm-up to burn the burst,
+		// then interleaved rounds so slow drift hits every sampling
+		// rate equally, and the per-rate median as the row.
+		const rounds = 3
+		sampleRates := []int{0, 1024, 16}
+		fmt.Fprintf(os.Stderr, "benchjson: warm-up wire ingest run (discarded) ...\n")
+		measureWireIngest(*streams, *window, 0)
+		runs := make(map[int][]metricsJSON)
+		for r := 0; r < rounds; r++ {
+			for _, sample := range sampleRates {
+				row := measureWireIngest(*streams, *window, sample)
+				fmt.Fprintf(os.Stderr, "  round %d/%d sample %-4d: %.1f Mbit/s\n", r+1, rounds, sample, row.MbitPerSec)
+				runs[sample] = append(runs[sample], row)
+			}
+		}
+		median := func(rows []metricsJSON) metricsJSON {
+			sorted := append([]metricsJSON(nil), rows...)
+			slices.SortFunc(sorted, func(a, b metricsJSON) int {
+				return cmp.Compare(a.BytesPerSec, b.BytesPerSec)
+			})
+			m := sorted[len(sorted)/2]
+			m.Note += fmt.Sprintf("; median of %d interleaved rounds", len(sorted))
+			return m
+		}
+		off := median(runs[0])
+		off.Name = "wire_ingest_trace_off"
+		var rows []metricsJSON
+		for _, sample := range sampleRates[1:] {
+			row := median(runs[sample])
+			fmt.Fprintf(os.Stderr, "benchjson: sample 1-in-%d median: %.3f of trace-off\n", sample, row.BytesPerSec/off.BytesPerSec)
+			rows = append(rows, row)
+		}
+		f.Baseline = off
+		f.Current = rows
+		// The headline is a retention ratio, not a speedup: goodput with
+		// tracing armed at the production rate (1 in 1024) over goodput
+		// with tracing off. ~1.0 is the design goal — sampled-out ids pay
+		// one hash on the credit path and nothing else.
+		f.MetricKind = "retention"
+		f.Retention = rows[0].BytesPerSec / off.BytesPerSec
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -pr %d\n", *pr)
 		os.Exit(2)

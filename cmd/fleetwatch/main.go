@@ -1,0 +1,145 @@
+// Command fleetwatch watches a fleet of thinner fronts: it subscribes
+// to every front's /telemetry NDJSON stream concurrently, merges the
+// snapshots, and renders a periodic terminal dashboard — per-front
+// rows plus a fleet-aggregate line. The read-only half of fleet
+// control: what an operator stares at during an attack.
+//
+// Usage:
+//
+//	fleetwatch -fronts http://h1:8080,http://h2:8080 [-interval 1s]
+//	           [-refresh 2s] [-duration 0] [-json]
+//
+// -interval is the telemetry cadence requested from each front;
+// -refresh is how often the dashboard redraws. -json replaces the
+// dashboard with one NDJSON object per refresh ({"aggregate":...,
+// "fronts":[...]}) for piping into jq or a recorder. -duration 0
+// watches until interrupted.
+//
+// A front disconnecting mid-watch is routine: its row flips to DOWN,
+// its last numbers stay in the aggregate, and a bounded jittered
+// backoff redials until the front returns.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"speakup"
+)
+
+func main() {
+	fronts := flag.String("fronts", "", "comma-separated front base URLs (e.g. http://127.0.0.1:8080,http://127.0.0.1:8090)")
+	interval := flag.Duration("interval", time.Second, "telemetry cadence requested from each front")
+	refresh := flag.Duration("refresh", 2*time.Second, "dashboard redraw cadence")
+	duration := flag.Duration("duration", 0, "watch for this long, then exit (0: until interrupted)")
+	jsonOut := flag.Bool("json", false, "emit NDJSON observations instead of the terminal dashboard")
+	flag.Parse()
+
+	urls := splitFronts(*fronts)
+	if len(urls) == 0 {
+		log.Fatal("no fronts: pass -fronts http://host:port[,http://host:port...]")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	w := speakup.NewFleetWatcher(speakup.FleetWatchConfig{
+		Fronts:   urls,
+		Interval: *interval,
+	})
+	w.Start(ctx)
+	defer w.Stop()
+
+	enc := json.NewEncoder(os.Stdout)
+	ticker := time.NewTicker(*refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// One final observation so short -duration runs always emit.
+			emit(w, enc, *jsonOut)
+			return
+		case <-ticker.C:
+			emit(w, enc, *jsonOut)
+		}
+	}
+}
+
+func splitFronts(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// observation is the -json line shape.
+type observation struct {
+	TS        time.Time                 `json:"ts"`
+	Aggregate speakup.FleetAggregate    `json:"aggregate"`
+	Fronts    []speakup.FleetFrontState `json:"fronts"`
+}
+
+func emit(w *speakup.FleetWatcher, enc *json.Encoder, jsonOut bool) {
+	agg := w.Aggregate()
+	states := w.States()
+	if jsonOut {
+		enc.Encode(observation{TS: time.Now(), Aggregate: agg, Fronts: states})
+		return
+	}
+	fmt.Printf("\n=== fleet %s — %d/%d fronts up ===\n",
+		time.Now().Format("15:04:05"), agg.Connected, agg.Fronts)
+	fmt.Printf("%-28s %-5s %9s %8s %7s %6s %10s %9s %6s\n",
+		"front", "state", "ingestMB", "mbps", "admit", "evict", "contenders", "price", "health")
+	for _, st := range states {
+		state := "UP"
+		if !st.Connected {
+			state = "DOWN"
+		}
+		s := st.Snapshot
+		note := ""
+		if !st.Connected && st.LastErr != "" {
+			note = "  # " + st.LastErr
+		}
+		fmt.Printf("%-28s %-5s %9.1f %8.1f %7d %6d %10d %9d %6s%s\n",
+			trimURL(st.URL), state, float64(s.IngestBytes)/1e6, s.IngestMbps,
+			s.Admitted, s.Evicted, s.Contenders, s.GoingPrice, healthName(s.Health), note)
+	}
+	fmt.Printf("%-28s %-5s %9.1f %8.1f %7d %6d %10d %9d\n",
+		"TOTAL", "", float64(agg.IngestBytes)/1e6, agg.IngestMbps,
+		agg.Admitted, agg.Evicted, agg.Contenders, agg.GoingPriceMax)
+}
+
+func trimURL(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	if len(u) > 28 {
+		u = u[:25] + "..."
+	}
+	return u
+}
+
+func healthName(h int32) string {
+	switch h {
+	case 1:
+		return "stall"
+	case 2:
+		return "recov"
+	}
+	return "ok"
+}

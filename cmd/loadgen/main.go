@@ -60,6 +60,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -115,6 +116,12 @@ type summaryJSON struct {
 	// loadgen run drives a single transport, so the other key is 0).
 	Transport         string             `json:"transport"`
 	IngestByTransport map[string]float64 `json:"payment_ingest_bits_per_sec_by_transport"`
+	// TraceSample echoes -trace-sample; SampledRequestIDs are the
+	// issued ids the server's tracer co-sampled at that rate (the
+	// predicate is shared), so each is joinable against the server's
+	// /trace?id=N record. Absent when sampling is off.
+	TraceSample       int      `json:"trace_sample,omitempty"`
+	SampledRequestIDs []uint64 `json:"sampled_request_ids,omitempty"`
 }
 
 func tally(cs []*loadgen.Client) (issued, served uint64, paid int64) {
@@ -175,6 +182,7 @@ func main() {
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline covering the whole speak-up exchange (0 = none)")
 	transport := flag.String("transport", "http", "front to drive: http (GET/POST) or wire (binary framed payment transport)")
 	wireAddr := flag.String("wire-addr", "localhost:8081", "wire listener host:port (with -transport wire)")
+	traceSample := flag.Int("trace-sample", 0, "mirror the server's -trace-sample rate to report which issued ids its tracer sampled (-json: sampled_request_ids)")
 	flag.Parse()
 
 	if *attack == "list" {
@@ -351,6 +359,7 @@ func main() {
 			RetryBudget: *retryBudget, RetryBase: *retryBase, RetryCap: *retryCap,
 			RequestTimeout: *reqTimeout,
 			Transport:      trans, WireAddr: *wireAddr,
+			TraceSample: *traceSample,
 		}, &ids)
 		good = append(good, c)
 		c.Run()
@@ -362,6 +371,7 @@ func main() {
 			RetryBudget: *retryBudget, RetryBase: *retryBase, RetryCap: *retryCap,
 			RequestTimeout: *reqTimeout,
 			Transport:      trans, WireAddr: *wireAddr,
+			TraceSample: *traceSample,
 		}
 		if atk != "" {
 			cfg.Strategy = spec.New(cohort)
@@ -413,6 +423,13 @@ func main() {
 	sum.Transport = trans
 	sum.IngestByTransport = map[string]float64{"http": 0, "wire": 0}
 	sum.IngestByTransport[trans] = sum.PaymentBitsPerSec
+	if *traceSample > 0 {
+		sum.TraceSample = *traceSample
+		for _, c := range append(append([]*loadgen.Client{}, good...), bad...) {
+			sum.SampledRequestIDs = append(sum.SampledRequestIDs, c.SampledIDs()...)
+		}
+		slices.Sort(sum.SampledRequestIDs)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -8,7 +8,14 @@
 //	         [-orphan 10s] [-scenario live_default] [-shards 0]
 //	         [-drain 15s] [-pprof localhost:6060]
 //	         [-fault-drop 0.1] [-fault-delay 50ms] [-fault-reset 0.01]
-//	         [-fault-seed 1]
+//	         [-fault-seed 1] [-trace-sample 1024]
+//
+// -trace-sample enables sampled request-lifecycle tracing: one in N
+// request ids (hash-based, so the HTTP and wire events of one id land
+// in one record) is traced arrive→wait→auction→settle. Read traces
+// back at GET /trace (NDJSON, ?n=&id=) and the derived latency
+// histograms at GET /metrics (Prometheus text format). Off by
+// default; when off, /trace answers 404 and the hot paths pay zero.
 //
 // -wire-addr adds a second listener speaking the binary framed
 // payment transport (internal/wire): persistent TCP connections
@@ -81,6 +88,7 @@ func main() {
 	faultDelay := flag.Duration("fault-delay", 0, "max random extra delay injected per read")
 	faultReset := flag.Float64("fault-reset", 0, "per-read probability a connection is reset mid-stream")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the listener fault injector")
+	traceSample := flag.Int("trace-sample", 0, "trace one in this many request ids (rounded up to a power of two; 0 disables tracing and /trace)")
 	flag.Parse()
 
 	capRPS := *capacity
@@ -127,7 +135,14 @@ func main() {
 	}
 
 	origin := speakup.NewEmulatedOrigin(capRPS)
-	front := speakup.NewFront(origin, speakup.FrontConfig{Thinner: thcfg})
+	front := speakup.NewFront(origin, speakup.FrontConfig{
+		Thinner: thcfg,
+		Trace:   speakup.TraceConfig{Sample: *traceSample},
+	})
+	if *traceSample > 0 {
+		log.Printf("request-lifecycle tracing on: 1 in %d ids (GET /trace?n=&id=, histograms on /metrics)",
+			front.Tracer().SampleN())
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -176,7 +191,10 @@ func main() {
 			// runs stress the binary transport too.
 			wln = speakup.WrapFaultListener(wln, cf)
 		}
-		wireSrv = speakup.NewWireServer(front, speakup.WireServerConfig{Registry: front.Registry()})
+		wireSrv = speakup.NewWireServer(front, speakup.WireServerConfig{
+			Registry: front.Registry(),
+			Tracer:   front.Tracer(),
+		})
 		go func() {
 			if err := wireSrv.Serve(wln); err != nil {
 				errc <- fmt.Errorf("wire listener: %w", err)
@@ -186,7 +204,7 @@ func main() {
 	}
 	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s, %d ingest shards)",
 		*addr, capRPS, front.Table().Shards())
-	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /healthz  /telemetry  /control/config")
+	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /metrics  /trace  /healthz  /telemetry  /control/config")
 
 	select {
 	case err := <-errc:

@@ -14,6 +14,7 @@ import (
 	"speakup/internal/faults"
 	"speakup/internal/metrics"
 	"speakup/internal/scenario"
+	"speakup/internal/trace"
 )
 
 // The golden files under testdata/golden were generated from the
@@ -171,6 +172,39 @@ func TestGoldenNoopFaultPlan(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Errorf("empty fault plan changed the model\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTracingNoop pins the tracer's pure-observation contract:
+// running every golden config with lifecycle tracing armed at the
+// maximum rate (every id sampled) must leave every figure golden
+// byte-identical. The tracer may read the clock and copy ids, but it
+// must never consume RNG, reorder events, or alter accounting — if it
+// did, live fronts running -trace-sample would serve different
+// traffic than the untraced model predicts.
+func TestGoldenTracingNoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios take a few seconds; skipped with -short")
+	}
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tr := trace.New(trace.Config{Sample: 1})
+			cfg.Trace = tr
+			got := digest(scenario.Run(cfg))
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenScenarios with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("tracing changed the model\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			// ModeOff runs no thinner, so only auction configs can
+			// prove the tracer actually observed traffic.
+			if cfg.Mode == appsim.ModeAuction && tr.Completed() == 0 {
+				t.Error("tracer saw no settled requests; the noop assertion tested nothing")
 			}
 		})
 	}

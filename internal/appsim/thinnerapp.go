@@ -6,6 +6,7 @@ import (
 	"speakup/internal/core"
 	"speakup/internal/server"
 	"speakup/internal/tcpsim"
+	"speakup/internal/trace"
 )
 
 // Mode selects the front-end policy.
@@ -79,6 +80,11 @@ type ThinnerConfig struct {
 	Hetero core.HeteroConfig
 	// Profiler configures the §8.1 baseline (ModeProfiling).
 	Profiler core.ProfilerConfig
+	// Trace, if non-nil, attaches a request-lifecycle tracer to the
+	// auction thinner (ModeAuction only). Pure observation: attaching
+	// one must not change a single simulated event, which the golden
+	// tests pin byte-for-byte.
+	Trace *trace.Tracer
 }
 
 // NewThinnerApp wires the policy, server, and stack together. The
@@ -107,6 +113,7 @@ func NewThinnerApp(stack *tcpsim.Stack, clock core.Clock, srv *server.Server, cf
 		}
 	case ModeAuction:
 		a.auction = core.NewThinner(clock, cfg.Thinner)
+		a.auction.Trace = cfg.Trace
 		a.auction.Admit = a.admit
 		a.auction.Evict = func(id core.RequestID, paid int64, wasted bool) {
 			if wasted {

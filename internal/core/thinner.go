@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"speakup/internal/metrics"
+	"speakup/internal/trace"
 )
 
 // Clock abstracts time so the thinner runs unchanged over virtual time
@@ -124,6 +125,12 @@ type Thinner struct {
 	// telemetry. Set it before traffic, from the thinner's control
 	// goroutine. Nil skips all recording.
 	Metrics *metrics.Registry
+
+	// Trace, if non-nil, receives sampled request-lifecycle events
+	// (arrive, auction rounds, settle). Set it like Metrics: before
+	// traffic, from the control goroutine. Nil — the default — skips
+	// everything, including the clock reads the hooks would need.
+	Trace *trace.Tracer
 
 	// Admit delivers a request to the server; paid is the winning bid
 	// in bytes (0 when the server was free — no auction needed).
@@ -278,6 +285,9 @@ func (t *Thinner) ShedArrival(id RequestID) {
 	if t.Metrics != nil {
 		t.Metrics.RecordShed(uint64(id))
 	}
+	if t.Trace != nil {
+		t.Trace.OnShed(uint64(id), t.clock.Now())
+	}
 }
 
 // RequestArrived processes a client request message. If the server is
@@ -293,6 +303,9 @@ func (t *Thinner) RequestArrived(id RequestID) {
 		}
 		return
 	}
+	if t.Trace != nil {
+		t.Trace.OnArrive(uint64(id), t.clock.Now())
+	}
 	if !t.busy {
 		t.busy = true
 		// Any pre-paid bytes count as its price.
@@ -302,6 +315,9 @@ func (t *Thinner) RequestArrived(id RequestID) {
 		t.stats.PaidBytes += paid
 		if t.Metrics != nil {
 			t.Metrics.RecordAdmit(uint64(id), paid, false)
+		}
+		if t.Trace != nil {
+			t.Trace.OnAdmit(uint64(id), paid, t.clock.Now(), false)
 		}
 		if t.Admit != nil {
 			t.Admit(id, paid)
@@ -318,7 +334,9 @@ func (t *Thinner) RequestArrived(id RequestID) {
 // request message; such entries are orphans until the request shows up
 // and are evicted after OrphanTimeout.
 func (t *Thinner) PaymentReceived(id RequestID, bytes int64) {
-	t.table.Credit(id, bytes, t.clock.Now())
+	now := t.clock.Now()
+	t.table.Credit(id, bytes, now)
+	t.Trace.OnCredit(uint64(id), bytes, now, trace.TransportSim)
 }
 
 // ServerDone signals that the server finished a request. The thinner
@@ -335,6 +353,10 @@ func (t *Thinner) ServerDone() {
 }
 
 func (t *Thinner) auctionNext() {
+	var start time.Duration
+	if t.Metrics != nil {
+		start = t.clock.Now()
+	}
 	id, _, ok := t.table.Winner()
 	if !ok {
 		return // no contenders; server idles until the next request
@@ -352,11 +374,21 @@ func (t *Thinner) auctionNext() {
 	if t.Metrics != nil {
 		t.Metrics.RecordAdmit(uint64(id), paid, true)
 	}
+	if t.Trace != nil {
+		now := t.clock.Now()
+		t.Trace.OnAuction(uint64(id), now) // losers accrue a lost round
+		t.Trace.OnAdmit(uint64(id), paid, now, true)
+	}
 	if t.Evict != nil {
 		t.Evict(id, paid, false)
 	}
 	if t.Admit != nil {
 		t.Admit(id, paid)
+	}
+	if t.Metrics != nil {
+		// Full settle cost: winner selection through the callbacks that
+		// release the admitted waiter.
+		t.Metrics.Latency().AuctionLatency.Observe(t.clock.Now() - start)
 	}
 }
 
@@ -408,6 +440,9 @@ func (t *Thinner) sweep() {
 		t.stats.WastedBytes += paid
 		if t.Metrics != nil {
 			t.Metrics.RecordEvict(uint64(id), paid)
+		}
+		if t.Trace != nil {
+			t.Trace.OnEvict(uint64(id), paid, now)
 		}
 		if t.Evict != nil {
 			t.Evict(id, paid, true)

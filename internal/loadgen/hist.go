@@ -1,97 +1,18 @@
 package loadgen
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
-	"time"
+	"speakup/internal/metrics"
 )
 
-// histBuckets covers 50µs to ~30h (50µs·2³¹) in power-of-two steps.
-const histBuckets = 32
+// Histogram is the client-side latency recorder: a lock-free
+// log₂-bucketed histogram whose Observe is two atomic adds, so
+// per-request recording never perturbs the load being generated.
+//
+// The implementation lives in internal/metrics (metrics.Hist) — the
+// same design serves the thinner's server-side lifecycle histograms
+// (wait-to-admit, credit interarrival, ...) rendered by /metrics, so
+// client- and server-side latency buckets line up exactly.
+type Histogram = metrics.Hist
 
-// histBase is the upper bound of bucket 0.
-const histBase = 50 * time.Microsecond
-
-// Histogram is a lock-free log₂-bucketed latency recorder: Observe is
-// two atomic adds, safe from any goroutine, so per-request recording
-// never perturbs the load being generated. Quantiles are resolved to
-// the upper bound of the matching bucket (factor-of-two resolution —
-// plenty for "did p99 blow up" questions).
-type Histogram struct {
-	buckets [histBuckets]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Int64 // ns
-	maxNs   atomic.Int64 // exact worst sample
-}
-
-func histIndex(d time.Duration) int {
-	if d <= histBase {
-		return 0
-	}
-	i := bits.Len64(uint64((d - 1) / histBase)) // ceil(log2(d/base))
-	if i >= histBuckets {
-		return histBuckets - 1
-	}
-	return i
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.buckets[histIndex(d)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(int64(d))
-	for {
-		cur := h.maxNs.Load()
-		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
-			break
-		}
-	}
-}
-
-// Max returns the exact worst sample observed, or 0 with no samples —
-// the tail beyond any bucketed quantile, which is what flood-mode
-// admission-latency regressions show up in first.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
-
-// Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean returns the average sample, or 0 with no samples.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(uint64(h.sum.Load()) / n)
-}
-
-// Quantile returns the upper bound of the bucket containing the p-th
-// quantile (0 < p <= 1), or 0 with no samples.
-func (h *Histogram) Quantile(p float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	// Nearest-rank with ceiling: p=0.99 over 10 samples must look at
-	// the 10th, not the 9th — truncating would hide the worst sample,
-	// the one tail quantiles exist to catch.
-	rank := uint64(math.Ceil(p * float64(n)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	var seen uint64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return histBase << uint(i)
-		}
-	}
-	return histBase << (histBuckets - 1)
-}
+// histBase is the upper bound of bucket 0 (re-exported for tests).
+const histBase = metrics.HistBase

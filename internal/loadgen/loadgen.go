@@ -19,6 +19,7 @@ import (
 	"speakup/internal/adversary"
 	"speakup/internal/core"
 	"speakup/internal/faults"
+	"speakup/internal/trace"
 	"speakup/internal/wire"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 	// WireAddr is the wire listener's host:port (required with
 	// Transport "wire").
 	WireAddr string
+	// TraceSample mirrors the server's trace sampling rate (thinnerd
+	// -trace-sample). When > 0, the client records which of its issued
+	// ids the server traced — the sampling predicate is a shared pure
+	// function of (id, rate) — so a client-side latency sample can be
+	// joined against the server's /trace?id= record. 0 records nothing.
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +123,11 @@ type Client struct {
 	wireMu sync.Mutex
 	wire   *wire.Client
 
+	// sampled collects the issued ids the server's tracer co-sampled
+	// (Config.TraceSample > 0).
+	sampledMu sync.Mutex
+	sampled   []uint64
+
 	Stats Stats
 
 	stop chan struct{}
@@ -145,6 +157,18 @@ func NewClient(cfg Config, ids *atomic.Uint64) *Client {
 		ids:    ids,
 		stop:   make(chan struct{}),
 	}
+}
+
+// SampledIDs returns the issued request ids the server's tracer
+// co-sampled (ascending — ids are issued monotonically). Empty unless
+// Config.TraceSample was set. Each is fetchable server-side as
+// /trace?id=N.
+func (c *Client) SampledIDs() []uint64 {
+	c.sampledMu.Lock()
+	defer c.sampledMu.Unlock()
+	out := make([]uint64, len(c.sampled))
+	copy(out, c.sampled)
+	return out
 }
 
 // Run generates load until Stop is called.
@@ -223,6 +247,11 @@ func (c *Client) arrivals() {
 func (c *Client) launch(release func()) {
 	id := core.RequestID(c.ids.Add(1))
 	c.Stats.Issued.Add(1)
+	if c.cfg.TraceSample > 0 && trace.Sampled(uint64(id), c.cfg.TraceSample) {
+		c.sampledMu.Lock()
+		c.sampled = append(c.sampled, uint64(id))
+		c.sampledMu.Unlock()
+	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()

@@ -31,7 +31,17 @@ type Registry struct {
 	wireConns  atomic.Int64
 	wireFrames atomic.Uint64
 	wireBytes  atomic.Int64
+
+	// lat holds the request-lifecycle latency histograms; /metrics
+	// renders them as Prometheus histograms. All-atomic like the
+	// counters above.
+	lat LatencyHists
 }
+
+// Latency returns the registry's request-lifecycle histograms. The
+// thinner core observes auction latency here; the trace layer
+// (internal/trace) feeds the sampled wait/credit-gap/evict ones.
+func (r *Registry) Latency() *LatencyHists { return &r.lat }
 
 // RecordAdmit counts one admission. paid is the winning bid in bytes;
 // auctioned distinguishes auction wins from direct admissions to a

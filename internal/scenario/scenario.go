@@ -28,6 +28,7 @@ import (
 	"speakup/internal/sim"
 	"speakup/internal/simclock"
 	"speakup/internal/tcpsim"
+	"speakup/internal/trace"
 )
 
 // ClientGroup describes a set of identical clients.
@@ -180,6 +181,13 @@ type Config struct {
 	Hetero     core.HeteroConfig
 	RandomDrop core.RandomDropConfig
 	Profiler   core.ProfilerConfig
+
+	// Trace attaches a request-lifecycle tracer (internal/trace) to
+	// the auction thinner. Observation only — a run with tracing on is
+	// event-for-event identical to one without, which the
+	// tracing-noop golden test enforces. Not part of the declarative
+	// schema (internal/config); set it programmatically.
+	Trace *trace.Tracer
 
 	// Faults is the deterministic fault-injection plan (internal/faults):
 	// link loss/jitter/partitions and origin stalls/crashes scheduled
@@ -479,6 +487,7 @@ func Run(cfg Config) *Result {
 		RandomDrop: rdCfg,
 		Hetero:     cfg.Hetero,
 		Profiler:   cfg.Profiler,
+		Trace:      cfg.Trace,
 	})
 
 	// --- fault plan ---

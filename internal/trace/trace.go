@@ -1,0 +1,504 @@
+// Package trace is the thinner's sampled request-lifecycle tracer:
+// the "why did THIS request wait, pay, and then get evicted" layer on
+// top of the aggregate counters in internal/metrics.
+//
+// Design constraints, in order:
+//
+//  1. Off by default, free when off. Every hook is nil-safe (call it
+//     on a nil *Tracer, like the metrics registry) and the enabled
+//     fast path for an unsampled id is one hash and one mask — so the
+//     payment hot path, which credits millions of chunks per second,
+//     can carry the hooks unconditionally.
+//  2. Zero steady-state allocation. In-flight traces live in a fixed
+//     open-addressed slot table of all-atomic records; completed
+//     traces are copied by value into a fixed-capacity ring. No
+//     per-event allocation on any path, enforced by AllocsPerRun
+//     fences.
+//  3. Deterministic hash-based sampling by request id. Whether an id
+//     is traced is a pure function of (id, sample rate) — not of
+//     which transport carried it or when it arrived — so the HTTP
+//     /pay stream and the wire CREDIT frames for one id always
+//     co-sample into one record, and a load generator given the same
+//     rate can predict exactly which of its ids the server traced.
+//
+// Lifecycle spans captured per sampled request: arrive → wait (credit
+// progress: count, bytes, first/last timestamps) → auction rounds
+// lost while contending → settle (admit / evict / shed / duplicate)
+// with the final price. On settle the record moves to the completed
+// ring (served by the front's /trace endpoint) and, when configured,
+// feeds the server-side latency histograms (wait-to-admit, credit
+// interarrival, time-to-evict) in internal/metrics.
+//
+// Concurrency: credit hooks run concurrently from every transport
+// goroutine; arrival/auction/settle hooks run on the thinner's
+// control path (one goroutine, or under the front's control mutex).
+// Slot fields are individually atomic, so concurrent updates are
+// race-free; a credit racing the settle of the same id can at worst
+// smear one sampled record's tallies, never corrupt memory or block.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speakup/internal/metrics"
+)
+
+// Transport tags which listener carried an event.
+type Transport uint8
+
+const (
+	// TransportUnknown: no transport recorded (no credits seen).
+	TransportUnknown Transport = iota
+	// TransportSim: the simulator's message-level payment path.
+	TransportSim
+	// TransportHTTP: chunked POST /pay bodies.
+	TransportHTTP
+	// TransportWire: CREDIT frames over the binary framed transport.
+	TransportWire
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case TransportSim:
+		return "sim"
+	case TransportHTTP:
+		return "http"
+	case TransportWire:
+		return "wire"
+	}
+	return "unknown"
+}
+
+// Verdict is how a traced request's lifecycle ended.
+type Verdict uint8
+
+const (
+	// VerdictNone: still in flight (never appears in completed records).
+	VerdictNone Verdict = iota
+	// VerdictAdmitDirect: admitted with no auction (origin was free).
+	VerdictAdmitDirect
+	// VerdictAdmitAuction: won an auction.
+	VerdictAdmitAuction
+	// VerdictEvict: payment channel timed out (orphaned or inactive).
+	VerdictEvict
+	// VerdictShed: refused during an origin brownout.
+	VerdictShed
+	// VerdictDuplicate: rejected — the id was already waiting (HTTP 409).
+	VerdictDuplicate
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmitDirect:
+		return "admit_direct"
+	case VerdictAdmitAuction:
+		return "admit_auction"
+	case VerdictEvict:
+		return "evict"
+	case VerdictShed:
+		return "shed"
+	case VerdictDuplicate:
+		return "duplicate"
+	}
+	return "in_flight"
+}
+
+// Record is one completed request-lifecycle trace. Timestamps are the
+// owning front's clock readings (time since its epoch) in
+// nanoseconds; 0 means the span never happened.
+type Record struct {
+	ID uint64 `json:"id"`
+	// Verdict is the terminal outcome (admit_direct, admit_auction,
+	// evict, shed, duplicate).
+	Verdict Verdict `json:"-"`
+	// Transport is the listener that carried the last payment credit.
+	Transport Transport `json:"-"`
+	// ArriveNS: when the request message arrived (0: payment-only
+	// orphan that never sent its request).
+	ArriveNS int64 `json:"arrive_ns"`
+	// FirstCreditNS/LastCreditNS bound the payment stream.
+	FirstCreditNS int64 `json:"first_credit_ns,omitempty"`
+	LastCreditNS  int64 `json:"last_credit_ns,omitempty"`
+	// SettleNS: when the verdict landed.
+	SettleNS int64 `json:"settle_ns"`
+	// Credits / CreditBytes tally the payment stream.
+	Credits     uint32 `json:"credits"`
+	CreditBytes int64  `json:"credit_bytes"`
+	// AuctionsLost counts auction rounds this request contended in and
+	// lost before settling.
+	AuctionsLost uint32 `json:"auctions_lost"`
+	// Paid: the settle price — winning bid on admit, forfeited balance
+	// on evict.
+	Paid int64 `json:"paid"`
+}
+
+// Wait returns the arrive→settle latency, or 0 if the request never
+// formally arrived (orphan channels).
+func (r *Record) Wait() time.Duration {
+	if r.ArriveNS == 0 || r.SettleNS < r.ArriveNS {
+		return 0
+	}
+	return time.Duration(r.SettleNS - r.ArriveNS)
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Sample enables tracing at one-in-Sample requests, rounded up to
+	// a power of two (1 traces everything). 0 — the default — disables
+	// tracing entirely: New returns nil and every hook is a no-op.
+	Sample int
+	// Slots bounds concurrently in-flight traced requests (rounded up
+	// to a power of two, default 512). When full, new sampled requests
+	// are dropped and counted in Drops.
+	Slots int
+	// Ring bounds retained completed traces (rounded up to a power of
+	// two, default 1024); older records are overwritten.
+	Ring int
+	// Hists, if non-nil, receives wait-to-admit, credit-interarrival,
+	// and time-to-evict observations from sampled records as they
+	// settle — pass the front registry's Latency() so /metrics renders
+	// them.
+	Hists *metrics.LatencyHists
+}
+
+// slot is one in-flight traced request. All fields are atomics:
+// credits land from any transport goroutine while the control path
+// arrives/settles. id==0 marks a free slot (request id 0 is never
+// issued by any client in this repo; a hostile id 0 is simply never
+// traced).
+type slot struct {
+	id           atomic.Uint64
+	arriveNS     atomic.Int64
+	firstCredit  atomic.Int64
+	lastCredit   atomic.Int64
+	settleNS     atomic.Int64
+	credits      atomic.Uint32
+	auctionsLost atomic.Uint32
+	creditBytes  atomic.Int64
+	transport    atomic.Uint32
+}
+
+func (s *slot) reset() {
+	s.arriveNS.Store(0)
+	s.firstCredit.Store(0)
+	s.lastCredit.Store(0)
+	s.settleNS.Store(0)
+	s.credits.Store(0)
+	s.auctionsLost.Store(0)
+	s.creditBytes.Store(0)
+	s.transport.Store(0)
+}
+
+// Tracer records sampled request lifecycles. Create with New; a nil
+// *Tracer is valid and every method on it is a cheap no-op.
+type Tracer struct {
+	sampleMask uint64 // sampled: hash(id)&sampleMask == 0
+	sampleN    int
+	slotMask   uint64
+	slots      []slot
+	hists      *metrics.LatencyHists
+
+	drops     atomic.Uint64 // sampled requests lost to slot exhaustion
+	completed atomic.Uint64 // records retired to the ring
+
+	// The completed ring. Settles are control-path rare (per request,
+	// not per chunk), so a plain mutex keeps Snapshot race-free without
+	// seqlock subtlety; pushes copy by value and never allocate.
+	mu   sync.Mutex
+	ring []Record
+	head uint64 // next ring write index (monotone)
+}
+
+func ceilPow2(n, def int) int {
+	if n <= 0 {
+		n = def
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New creates a tracer, or returns nil — the disabled tracer every
+// hook tolerates — when cfg.Sample is 0.
+func New(cfg Config) *Tracer {
+	if cfg.Sample <= 0 {
+		return nil
+	}
+	n := ceilPow2(cfg.Sample, 1)
+	slots := ceilPow2(cfg.Slots, 512)
+	ring := ceilPow2(cfg.Ring, 1024)
+	return &Tracer{
+		sampleMask: uint64(n - 1),
+		sampleN:    n,
+		slotMask:   uint64(slots - 1),
+		slots:      make([]slot, slots),
+		ring:       make([]Record, 0, ring),
+		hists:      cfg.Hists,
+	}
+}
+
+// hash64 is a splitmix64-style finalizer: cheap, well-mixed, and the
+// shared definition both server and load generator use so co-sampling
+// is a protocol, not a coincidence.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Sampled reports whether id is traced at a one-in-sample rate
+// (sample rounded up to a power of two; <=0 samples nothing). Load
+// generators use this to predict the server's sampled id set.
+func Sampled(id uint64, sample int) bool {
+	if sample <= 0 || id == 0 {
+		return false
+	}
+	return hash64(id)&uint64(ceilPow2(sample, 1)-1) == 0
+}
+
+// SampleN returns the effective one-in-N sampling rate (0 when nil).
+func (t *Tracer) SampleN() int {
+	if t == nil {
+		return 0
+	}
+	return t.sampleN
+}
+
+// Sampled reports whether id would be traced. Nil-safe. Id 0 is the
+// free-slot sentinel and never samples (no client in this repo issues
+// it; hash64(0)=0 would otherwise always sample it).
+func (t *Tracer) Sampled(id uint64) bool {
+	return t != nil && id != 0 && hash64(id)&t.sampleMask == 0
+}
+
+// Drops returns how many sampled requests were lost to slot
+// exhaustion (the fixed in-flight table was full). Nil-safe.
+func (t *Tracer) Drops() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.drops.Load()
+}
+
+// Completed returns how many records have been retired to the ring
+// (monotone; the ring retains the most recent capacity's worth).
+func (t *Tracer) Completed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.completed.Load()
+}
+
+// lookup finds id's in-flight slot, optionally acquiring a free one.
+// Linear probing over a short window bounds the cost; a full window
+// drops the trace (counted) rather than degrading the hot path.
+func (t *Tracer) lookup(id uint64, acquire bool) *slot {
+	h := hash64(id)
+	for i := uint64(0); i < 16; i++ {
+		s := &t.slots[(h+i)&t.slotMask]
+		cur := s.id.Load()
+		if cur == id {
+			return s
+		}
+		if cur == 0 && acquire {
+			if s.id.CompareAndSwap(0, id) {
+				// Publish-then-reset: a concurrent same-id event between
+				// the CAS and the reset can smear one record's tallies
+				// (bounded, best-effort); all fields stay individually
+				// atomic so there is no memory-model race.
+				s.reset()
+				return s
+			}
+			if s.id.Load() == id {
+				return s // lost the CAS to the same id
+			}
+		}
+	}
+	if acquire {
+		t.drops.Add(1)
+	}
+	return nil
+}
+
+// OnArrive records a sampled request's arrival (the thinner's
+// RequestArrived / the front's Arrive seam). Nil-safe, zero-alloc.
+func (t *Tracer) OnArrive(id uint64, now time.Duration) {
+	if t == nil || id == 0 || hash64(id)&t.sampleMask != 0 {
+		return
+	}
+	s := t.lookup(id, true)
+	if s == nil {
+		return
+	}
+	s.arriveNS.Store(int64(now))
+}
+
+// OnCredit records bytes of accepted payment for a sampled id — the
+// per-chunk hot path. The unsampled exit is one hash and one branch;
+// the sampled path is a probe plus a handful of atomic adds. tr tags
+// which transport carried the credit.
+func (t *Tracer) OnCredit(id uint64, bytes int64, now time.Duration, tr Transport) {
+	if t == nil || id == 0 || hash64(id)&t.sampleMask != 0 {
+		return
+	}
+	s := t.lookup(id, true)
+	if s == nil {
+		return
+	}
+	last := s.lastCredit.Load()
+	s.lastCredit.Store(int64(now))
+	if s.firstCredit.Load() == 0 {
+		s.firstCredit.Store(int64(now))
+	}
+	s.credits.Add(1)
+	s.creditBytes.Add(bytes)
+	s.transport.Store(uint32(tr))
+	if t.hists != nil && last != 0 && int64(now) >= last {
+		t.hists.CreditGap.Observe(time.Duration(int64(now) - last))
+	}
+}
+
+// OnAuction records one auction round's outcome against every
+// in-flight traced contender: each sampled request that had arrived
+// (was contending) and is not the winner loses a round. Control-path
+// only; cost is O(slot table), which is fixed and small.
+func (t *Tracer) OnAuction(winner uint64, now time.Duration) {
+	if t == nil {
+		return
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		id := s.id.Load()
+		if id != 0 && id != winner && s.arriveNS.Load() != 0 && s.settleNS.Load() == 0 {
+			s.auctionsLost.Add(1)
+		}
+	}
+}
+
+// OnAdmit settles a sampled request as admitted: paid is the winning
+// bid (auctioned) or the pre-paid balance (direct).
+func (t *Tracer) OnAdmit(id uint64, paid int64, now time.Duration, auctioned bool) {
+	v := VerdictAdmitDirect
+	if auctioned {
+		v = VerdictAdmitAuction
+	}
+	t.settle(id, paid, now, v)
+}
+
+// OnEvict settles a sampled request as timeout-evicted; paid is the
+// forfeited balance.
+func (t *Tracer) OnEvict(id uint64, paid int64, now time.Duration) {
+	t.settle(id, paid, now, VerdictEvict)
+}
+
+// OnShed settles a sampled request as brownout-shed. Shed requests
+// usually have no slot yet (they are refused at arrival); the settle
+// acquires one so the refusal is still visible in /trace.
+func (t *Tracer) OnShed(id uint64, now time.Duration) {
+	t.settle(id, 0, now, VerdictShed)
+}
+
+// OnDuplicate settles a sampled arrival rejected as a duplicate id
+// (HTTP 409). The original request's in-flight record must survive,
+// so the duplicate is recorded as a standalone completed record
+// without disturbing the slot.
+func (t *Tracer) OnDuplicate(id uint64, now time.Duration) {
+	if t == nil || id == 0 || hash64(id)&t.sampleMask != 0 {
+		return
+	}
+	t.push(Record{
+		ID:       id,
+		Verdict:  VerdictDuplicate,
+		ArriveNS: int64(now),
+		SettleNS: int64(now),
+	})
+}
+
+func (t *Tracer) settle(id uint64, paid int64, now time.Duration, v Verdict) {
+	if t == nil || id == 0 || hash64(id)&t.sampleMask != 0 {
+		return
+	}
+	s := t.lookup(id, v == VerdictShed)
+	if s == nil {
+		return
+	}
+	s.settleNS.Store(int64(now))
+	rec := Record{
+		ID:            id,
+		Verdict:       v,
+		Transport:     Transport(s.transport.Load()),
+		ArriveNS:      s.arriveNS.Load(),
+		FirstCreditNS: s.firstCredit.Load(),
+		LastCreditNS:  s.lastCredit.Load(),
+		SettleNS:      int64(now),
+		Credits:       s.credits.Load(),
+		CreditBytes:   s.creditBytes.Load(),
+		AuctionsLost:  s.auctionsLost.Load(),
+		Paid:          paid,
+	}
+	s.id.Store(0) // free the slot; stale same-id credits now miss
+	t.push(rec)
+	if t.hists == nil {
+		return
+	}
+	switch v {
+	case VerdictAdmitDirect, VerdictAdmitAuction:
+		if d := rec.Wait(); d > 0 || rec.ArriveNS != 0 {
+			t.hists.WaitToAdmit.Observe(d)
+		}
+	case VerdictEvict:
+		born := rec.ArriveNS
+		if born == 0 || (rec.FirstCreditNS != 0 && rec.FirstCreditNS < born) {
+			born = rec.FirstCreditNS
+		}
+		if born != 0 && rec.SettleNS >= born {
+			t.hists.TimeToEvict.Observe(time.Duration(rec.SettleNS - born))
+		}
+	}
+}
+
+// push retires one completed record into the ring. Zero-alloc: the
+// backing array is pre-sized at New and records are copied by value.
+func (t *Tracer) push(rec Record) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = t.ring[:len(t.ring)+1]
+	}
+	t.ring[t.head&uint64(cap(t.ring)-1)] = rec
+	t.head++
+	t.mu.Unlock()
+	t.completed.Add(1)
+}
+
+// Snapshot returns up to max completed records, newest first. id
+// filters to one request id (0: all). Nil-safe (returns nil). This is
+// the cold /trace read path; it allocates the result.
+func (t *Tracer) Snapshot(max int, id uint64) []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]Record, 0, max)
+	for i := 0; i < n && len(out) < max; i++ {
+		rec := &t.ring[(t.head-1-uint64(i))&uint64(cap(t.ring)-1)]
+		if id != 0 && rec.ID != id {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	return out
+}

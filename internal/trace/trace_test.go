@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"speakup/internal/metrics"
+)
+
+// sampledID returns an id the tracer samples; offset skips earlier
+// matches so tests can get several distinct sampled ids.
+func sampledID(t *testing.T, tr *Tracer, skip int) uint64 {
+	t.Helper()
+	for id := uint64(1); id < 1<<20; id++ {
+		if tr.Sampled(id) {
+			if skip == 0 {
+				return id
+			}
+			skip--
+		}
+	}
+	t.Fatal("no sampled id found in 2^20 probes")
+	return 0
+}
+
+func TestNewDisabled(t *testing.T) {
+	if tr := New(Config{}); tr != nil {
+		t.Fatalf("Sample=0 must return a nil tracer, got %v", tr)
+	}
+	// Every hook and accessor must tolerate the nil tracer.
+	var tr *Tracer
+	tr.OnArrive(1, 0)
+	tr.OnCredit(1, 10, 0, TransportHTTP)
+	tr.OnAuction(1, 0)
+	tr.OnAdmit(1, 10, 0, true)
+	tr.OnEvict(1, 10, 0)
+	tr.OnShed(1, 0)
+	tr.OnDuplicate(1, 0)
+	if tr.Sampled(1) || tr.SampleN() != 0 || tr.Drops() != 0 || tr.Completed() != 0 {
+		t.Fatal("nil tracer accessors must report zero values")
+	}
+	if got := tr.Snapshot(10, 0); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+}
+
+func TestSamplingDeterministicAndShared(t *testing.T) {
+	tr := New(Config{Sample: 8})
+	if tr.SampleN() != 8 {
+		t.Fatalf("SampleN = %d, want 8", tr.SampleN())
+	}
+	// The tracer's decision must equal the static predicate the load
+	// generator uses — co-sampling is a contract.
+	n := 0
+	for id := uint64(1); id <= 1<<14; id++ {
+		a, b := tr.Sampled(id), Sampled(id, 8)
+		if a != b {
+			t.Fatalf("id %d: tracer.Sampled=%v but static Sampled=%v", id, a, b)
+		}
+		if a {
+			n++
+		}
+	}
+	// A 1-in-8 hash sample over 16384 ids should land near 2048.
+	if n < 1500 || n > 2600 {
+		t.Fatalf("sampled %d of 16384 ids at 1-in-8; hash looks biased", n)
+	}
+	// Non-power-of-two rates round up.
+	if New(Config{Sample: 1000}).SampleN() != 1024 {
+		t.Fatal("Sample=1000 must round up to 1024")
+	}
+	if Sampled(0, 1) {
+		t.Fatal("id 0 is the free-slot sentinel and must never sample")
+	}
+}
+
+func TestLifecycleAdmit(t *testing.T) {
+	var lat metrics.LatencyHists
+	tr := New(Config{Sample: 1, Slots: 8, Ring: 8, Hists: &lat})
+	id := sampledID(t, tr, 0)
+	other := sampledID(t, tr, 1)
+
+	tr.OnArrive(id, 1000)
+	tr.OnArrive(other, 1100)
+	tr.OnCredit(id, 50, 2000, TransportHTTP)
+	tr.OnCredit(id, 50, 3000, TransportWire)
+	tr.OnAuction(other, 3500) // id contends, loses
+	tr.OnAuction(id, 4000)    // id wins: not a loss
+	tr.OnAdmit(id, 100, 4000, true)
+
+	recs := tr.Snapshot(10, id)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records for id %d, want 1", len(recs), id)
+	}
+	r := recs[0]
+	if r.Verdict != VerdictAdmitAuction {
+		t.Fatalf("verdict = %v, want admit_auction", r.Verdict)
+	}
+	if r.Transport != TransportWire {
+		t.Fatalf("transport = %v, want wire (last credit's carrier)", r.Transport)
+	}
+	if r.ArriveNS != 1000 || r.FirstCreditNS != 2000 || r.LastCreditNS != 3000 || r.SettleNS != 4000 {
+		t.Fatalf("span timestamps wrong: %+v", r)
+	}
+	if r.Credits != 2 || r.CreditBytes != 100 || r.AuctionsLost != 1 || r.Paid != 100 {
+		t.Fatalf("tallies wrong: %+v", r)
+	}
+	if got := r.Wait(); got != 3000 {
+		t.Fatalf("Wait = %v, want 3000ns", got)
+	}
+	if lat.WaitToAdmit.Count() != 1 || lat.WaitToAdmit.Max() != 3000 {
+		t.Fatalf("WaitToAdmit hist: count=%d max=%v, want 1 sample of 3µs", lat.WaitToAdmit.Count(), lat.WaitToAdmit.Max())
+	}
+	if lat.CreditGap.Count() != 1 || lat.CreditGap.Max() != 1000 {
+		t.Fatalf("CreditGap hist: count=%d max=%v, want 1 gap of 1µs", lat.CreditGap.Count(), lat.CreditGap.Max())
+	}
+
+	// The slot must be free again: a fresh lifecycle for the same id
+	// starts clean.
+	tr.OnArrive(id, 9000)
+	tr.OnAdmit(id, 0, 9500, false)
+	recs = tr.Snapshot(1, id)
+	if len(recs) != 1 || recs[0].Verdict != VerdictAdmitDirect || recs[0].Credits != 0 {
+		t.Fatalf("recycled slot carried stale state: %+v", recs)
+	}
+}
+
+func TestLifecycleEvictShedDuplicate(t *testing.T) {
+	var lat metrics.LatencyHists
+	tr := New(Config{Sample: 1, Slots: 8, Ring: 8, Hists: &lat})
+	id := sampledID(t, tr, 0)
+
+	// Payment-only orphan: credits but never a request message.
+	tr.OnCredit(id, 25, 1000, TransportWire)
+	tr.OnEvict(id, 25, 5000)
+	r := tr.Snapshot(1, id)[0]
+	if r.Verdict != VerdictEvict || r.ArriveNS != 0 || r.Paid != 25 {
+		t.Fatalf("orphan evict record wrong: %+v", r)
+	}
+	if lat.TimeToEvict.Count() != 1 || lat.TimeToEvict.Max() != 4000 {
+		t.Fatalf("TimeToEvict must span first credit→evict for orphans: count=%d max=%v",
+			lat.TimeToEvict.Count(), lat.TimeToEvict.Max())
+	}
+
+	tr.OnShed(id, 6000)
+	r = tr.Snapshot(1, id)[0]
+	if r.Verdict != VerdictShed || r.SettleNS != 6000 {
+		t.Fatalf("shed record wrong: %+v", r)
+	}
+
+	// A duplicate settles standalone without disturbing the original's
+	// in-flight slot.
+	tr.OnArrive(id, 7000)
+	tr.OnDuplicate(id, 7500)
+	r = tr.Snapshot(1, id)[0]
+	if r.Verdict != VerdictDuplicate || r.Credits != 0 {
+		t.Fatalf("duplicate record wrong: %+v", r)
+	}
+	tr.OnAdmit(id, 10, 8000, true)
+	r = tr.Snapshot(1, id)[0]
+	if r.Verdict != VerdictAdmitAuction || r.ArriveNS != 7000 {
+		t.Fatalf("duplicate clobbered the original in-flight trace: %+v", r)
+	}
+}
+
+func TestRingWrapNewestFirst(t *testing.T) {
+	tr := New(Config{Sample: 1, Slots: 64, Ring: 4})
+	for i := 0; i < 10; i++ {
+		id := sampledID(t, tr, i)
+		tr.OnArrive(id, time.Duration(i+1))
+		tr.OnAdmit(id, 0, time.Duration(100+i), false)
+	}
+	recs := tr.Snapshot(0, 0)
+	if len(recs) != 4 {
+		t.Fatalf("ring of 4 retained %d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].SettleNS <= recs[i].SettleNS {
+			t.Fatalf("Snapshot not newest-first: %+v", recs)
+		}
+	}
+	if recs[0].SettleNS != 109 {
+		t.Fatalf("newest record settled at %d, want 109", recs[0].SettleNS)
+	}
+	if tr.Completed() != 10 {
+		t.Fatalf("Completed = %d, want 10", tr.Completed())
+	}
+	if got := tr.Snapshot(2, 0); len(got) != 2 {
+		t.Fatalf("Snapshot(2) returned %d records", len(got))
+	}
+}
+
+func TestSlotExhaustionDrops(t *testing.T) {
+	tr := New(Config{Sample: 1, Slots: 1, Ring: 4}) // rounds to 1 slot
+	ids := make([]uint64, 0, 40)
+	for i := 0; len(ids) < 40; i++ {
+		ids = append(ids, sampledID(t, tr, i))
+	}
+	for _, id := range ids {
+		tr.OnArrive(id, 1)
+	}
+	if tr.Drops() == 0 {
+		t.Fatal("40 in-flight ids over 1 slot must drop some traces")
+	}
+	// The table itself must never grow: exactly one id holds a slot.
+	held := 0
+	for i := range tr.slots {
+		if tr.slots[i].id.Load() != 0 {
+			held++
+		}
+	}
+	if held != 1 {
+		t.Fatalf("%d slots held, table has 1", held)
+	}
+}
+
+// TestTracePathAllocs is the zero-steady-state-allocation fence for
+// the hot-path hooks: both the sampling miss (the common case on
+// every request) and the full sampled lifecycle must not allocate.
+// Excluded from the -race CI job by name: race instrumentation
+// allocates and would fail any alloc fence spuriously.
+func TestTracePathAllocs(t *testing.T) {
+	tr := New(Config{Sample: 2, Slots: 64, Ring: 64, Hists: &metrics.LatencyHists{}})
+	hit := sampledID(t, tr, 0)
+	miss := hit + 1
+	for tr.Sampled(miss) {
+		miss++
+	}
+	now := time.Duration(0)
+	tick := func() time.Duration { now += 1000; return now }
+
+	if n := testing.AllocsPerRun(200, func() {
+		tr.OnArrive(miss, tick())
+		tr.OnCredit(miss, 50, tick(), TransportHTTP)
+		tr.OnAdmit(miss, 50, tick(), true)
+	}); n != 0 {
+		t.Fatalf("sampling-miss path allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		tr.OnArrive(hit, tick())
+		tr.OnCredit(hit, 50, tick(), TransportHTTP)
+		tr.OnCredit(hit, 50, tick(), TransportWire)
+		tr.OnAuction(hit+1, tick())
+		tr.OnAdmit(hit, 100, tick(), true)
+	}); n != 0 {
+		t.Fatalf("sampled lifecycle allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		tr.OnCredit(hit, 50, tick(), TransportWire)
+		tr.OnEvict(hit, 50, tick())
+	}); n != 0 {
+		t.Fatalf("evict path allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestTraceConcurrentCredits drives credits from many goroutines while
+// the control path settles and re-arrives the same ids — the shape the
+// -race CI job exists to check.
+func TestTraceConcurrentCredits(t *testing.T) {
+	tr := New(Config{Sample: 1, Slots: 32, Ring: 128, Hists: &metrics.LatencyHists{}})
+	ids := make([]uint64, 8)
+	for i := range ids {
+		ids[i] = sampledID(t, tr, i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := time.Duration(g * 1000)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range ids {
+					now += 100
+					tr.OnCredit(id, 10, now, TransportWire)
+				}
+			}
+		}(g)
+	}
+	now := time.Duration(0)
+	for round := 0; round < 200; round++ {
+		for i, id := range ids {
+			now += 500
+			tr.OnArrive(id, now)
+			switch (round + i) % 3 {
+			case 0:
+				tr.OnAdmit(id, 10, now+100, true)
+			case 1:
+				tr.OnEvict(id, 10, now+100)
+			default:
+				tr.OnAuction(id, now+100)
+			}
+		}
+		if round%10 == 0 {
+			tr.Snapshot(16, 0)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if tr.Completed() == 0 {
+		t.Fatal("no records completed under concurrency")
+	}
+}
+
+func BenchmarkOnCreditMiss(b *testing.B) {
+	tr := New(Config{Sample: 1024})
+	id := uint64(1)
+	for !tr.Sampled(id) {
+		id++
+	}
+	miss := id + 1
+	for tr.Sampled(miss) {
+		miss++
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.OnCredit(miss, 50, time.Duration(i), TransportWire)
+	}
+}
+
+func BenchmarkOnCreditHit(b *testing.B) {
+	tr := New(Config{Sample: 1, Slots: 4})
+	tr.OnArrive(7, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.OnCredit(7, 50, time.Duration(i), TransportWire)
+	}
+}

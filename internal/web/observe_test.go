@@ -1,0 +1,333 @@
+package web
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"speakup/internal/core"
+	"speakup/internal/trace"
+)
+
+// newTracedFront is newTestFront with lifecycle tracing armed at
+// sample 1 (every id), so single requests reliably produce traces.
+func newTracedFront(t *testing.T, delay time.Duration) (*Front, *httptest.Server) {
+	t.Helper()
+	origin := &slowOrigin{delay: delay}
+	front := NewFront(origin, Config{
+		PayPollInterval: 10 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout: 500 * time.Millisecond,
+			SweepInterval: 100 * time.Millisecond,
+		},
+		Trace: trace.Config{Sample: 1},
+	})
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() {
+		srv.Close()
+		front.Close()
+	})
+	return front, srv
+}
+
+// promSample is one parsed exposition line: name, label pairs, value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm parses Prometheus text exposition format far enough to
+// validate our own output: HELP/TYPE metadata per family plus every
+// sample line. It fails the test on any line it cannot parse.
+func parseProm(t *testing.T, body string) (help, typ map[string]string, samples []promSample) {
+	t.Helper()
+	help = make(map[string]string)
+	typ = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, h, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			help[name] = h
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typ[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		nameAndLabels, raw, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s := promSample{name: nameAndLabels, labels: map[string]string{}, value: v}
+		if name, rest, ok := strings.Cut(nameAndLabels, "{"); ok {
+			s.name = name
+			rest = strings.TrimSuffix(rest, "}")
+			for _, pair := range strings.Split(rest, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("bad label pair %q in %q", pair, line)
+				}
+				s.labels[k] = strings.Trim(v, `"`)
+			}
+		}
+		samples = append(samples, s)
+	}
+	return help, typ, samples
+}
+
+// histFamily strips the _bucket/_sum/_count suffix a histogram sample
+// carries, returning the family name and which series it belongs to.
+func histFamily(name string) (family, series string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suf); ok {
+			return f, suf
+		}
+	}
+	return name, ""
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, srv := newTracedFront(t, 5*time.Millisecond)
+	// One served request so the counters and the wait-to-admit
+	// histogram have something in them.
+	get(t, srv.URL+"/request?id=7")
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := resp.Header.Get("Content-Type")
+	bodyB := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(bodyB)
+	resp.Body.Close()
+	body := string(bodyB[:n])
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+
+	help, typ, samples := parseProm(t, body)
+	if len(samples) == 0 {
+		t.Fatal("no samples in /metrics output")
+	}
+
+	// Every sample's family must carry HELP and TYPE metadata, and
+	// histogram series must be declared as histograms.
+	for _, s := range samples {
+		family, series := histFamily(s.name)
+		if series != "" && typ[family] != "histogram" {
+			// A _count suffix on a plain counter is fine only if the
+			// full name is its own family.
+			if _, ok := typ[s.name]; ok {
+				family = s.name
+			}
+		}
+		if help[family] == "" {
+			t.Errorf("sample %s: family %s has no HELP line", s.name, family)
+		}
+		if typ[family] == "" {
+			t.Errorf("sample %s: family %s has no TYPE line", s.name, family)
+		}
+	}
+
+	// The deployment gauges and trace counters must be present.
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	for _, want := range []string{
+		"speakup_admitted_total", "speakup_uptime_seconds", "speakup_gomaxprocs",
+		"speakup_wire_ingest_bytes_total", "speakup_trace_sample_n", "speakup_trace_completed_total",
+	} {
+		if len(byName[want]) == 0 {
+			t.Errorf("missing metric %s", want)
+		}
+	}
+	if v := byName["speakup_uptime_seconds"][0].value; v <= 0 {
+		t.Errorf("uptime = %v, want > 0", v)
+	}
+
+	// Histogram integrity: le values ascend and end at +Inf, bucket
+	// counts are cumulative (monotone non-decreasing), and the +Inf
+	// bucket equals the family's _count sample.
+	families := map[string]bool{}
+	for name, kind := range typ {
+		if kind == "histogram" {
+			families[name] = true
+		}
+	}
+	if !families["speakup_wait_to_admit_seconds"] {
+		t.Fatal("wait_to_admit histogram not exported")
+	}
+	for family := range families {
+		buckets := byName[family+"_bucket"]
+		if len(buckets) < 2 {
+			t.Errorf("%s: only %d buckets", family, len(buckets))
+			continue
+		}
+		sort.SliceStable(buckets, func(i, j int) bool {
+			return promLE(t, buckets[i]) < promLE(t, buckets[j])
+		})
+		last := buckets[len(buckets)-1]
+		if !math.IsInf(promLE(t, last), 1) {
+			t.Errorf("%s: last bucket le=%v, want +Inf", family, promLE(t, last))
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i].value < buckets[i-1].value {
+				t.Errorf("%s: bucket le=%v count %v < previous %v (not cumulative)",
+					family, promLE(t, buckets[i]), buckets[i].value, buckets[i-1].value)
+			}
+		}
+		counts := byName[family+"_count"]
+		if len(counts) != 1 {
+			t.Errorf("%s: %d _count samples, want 1", family, len(counts))
+			continue
+		}
+		if last.value != counts[0].value {
+			t.Errorf("%s: +Inf bucket %v != _count %v", family, last.value, counts[0].value)
+		}
+	}
+
+	// The served request was a direct admit; its wait must have landed.
+	if c := byName["speakup_wait_to_admit_seconds_count"]; len(c) == 0 || c[0].value < 1 {
+		t.Errorf("wait_to_admit count = %v, want >= 1", c)
+	}
+}
+
+func promLE(t *testing.T, s promSample) float64 {
+	t.Helper()
+	raw := s.labels["le"]
+	if raw == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		t.Fatalf("bucket %s: bad le %q", s.name, raw)
+	}
+	return v
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	// Tracing off: /trace is 404, the knob is the front config.
+	_, plain, _ := newTestFront(t, time.Millisecond)
+	if code, _ := get(t, plain.URL+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("/trace with tracing off -> %d, want 404", code)
+	}
+
+	front, srv := newTracedFront(t, time.Millisecond)
+	get(t, srv.URL+"/request?id=5")
+	get(t, srv.URL+"/request?id=6")
+	waitForCompleted(t, front, 2)
+
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace -> %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("got %d trace lines, want >= 2\n%s", len(lines), body)
+	}
+	var rec struct {
+		ID        uint64 `json:"id"`
+		Verdict   string `json:"verdict"`
+		Transport string `json:"transport"`
+		ArriveNS  int64  `json:"arrive_ns"`
+		SettleNS  int64  `json:"settle_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", lines[0], err)
+	}
+	// Newest first: the id=6 request settled last.
+	if rec.ID != 6 || rec.Verdict != "admit_direct" {
+		t.Fatalf("newest trace = %+v, want id=6 verdict=admit_direct", rec)
+	}
+	if rec.SettleNS < rec.ArriveNS {
+		t.Fatalf("settle %d before arrive %d", rec.SettleNS, rec.ArriveNS)
+	}
+
+	// id filter returns only that request's trace.
+	_, body = get(t, srv.URL+"/trace?id=5")
+	lines = strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("id filter returned %d lines, want 1\n%s", len(lines), body)
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil || rec.ID != 5 {
+		t.Fatalf("filtered trace = %+v err=%v, want id=5", rec, err)
+	}
+
+	// n bounds the count; bad n is a client error.
+	_, body = get(t, srv.URL+"/trace?n=1")
+	if got := len(strings.Split(strings.TrimSpace(body), "\n")); got != 1 {
+		t.Fatalf("n=1 returned %d lines", got)
+	}
+	if code, _ := get(t, srv.URL+"/trace?n=zero"); code != http.StatusBadRequest {
+		t.Fatalf("bad n -> %d, want 400", code)
+	}
+}
+
+// waitForCompleted polls the tracer until n traces settle: the settle
+// runs on the server's request goroutine after the response is
+// written, so a client can observe its 200 a beat earlier.
+func waitForCompleted(t *testing.T, front *Front, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for front.Tracer().Completed() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("tracer completed %d, want %d", front.Tracer().Completed(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatsObservabilityFields(t *testing.T) {
+	_, srv, _ := newTestFront(t, time.Millisecond)
+	get(t, srv.URL+"/request?id=1")
+	_, body := get(t, srv.URL+"/stats")
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		t.Fatalf("bad stats JSON: %v", err)
+	}
+	for _, key := range []string{
+		"uptime_seconds", "gomaxprocs",
+		"wire_conns", "wire_frames", "wire_ingest_bytes",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("stats missing %q\n%s", key, body)
+		}
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", st.UptimeSeconds)
+	}
+	if st.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs = %d, want >= 1", st.GOMAXPROCS)
+	}
+}

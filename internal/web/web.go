@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,7 @@ import (
 	"speakup/internal/config"
 	"speakup/internal/core"
 	"speakup/internal/metrics"
+	"speakup/internal/trace"
 )
 
 // Origin is the protected service behind the thinner.
@@ -119,6 +121,11 @@ type Config struct {
 	// and new /request arrivals are shed with 503 + Retry-After until
 	// the call returns. Default 30s.
 	OriginStallAfter time.Duration
+	// Trace configures request-lifecycle tracing (internal/trace).
+	// Zero Sample — the default — disables it entirely: no tracer is
+	// built, /trace answers 404, and the request and payment paths pay
+	// nothing.
+	Trace trace.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +163,13 @@ type Front struct {
 	// /telemetry streams snapshots of it without taking ctl.
 	reg metrics.Registry
 
+	// tracer is the sampled request-lifecycle tracer (nil when
+	// disabled; every hook tolerates that). It is shared by the HTTP
+	// handlers, the thinner core, and any wire listener attached via
+	// Tracer(), which is what makes co-sampling across transports
+	// automatic: one sampling decision per id, one record.
+	tracer *trace.Tracer
+
 	served atomic.Uint64
 	bufs   sync.Pool // *[]byte of cfg.PayChunk, for /pay read loops
 
@@ -180,6 +194,9 @@ func NewFront(origin Origin, cfg Config) *Front {
 	// callbacks under the same mutex, so holding it here makes the
 	// constructor's writes (timer handle, callbacks) visible to the
 	// first sweep no matter how soon it fires.
+	tc := f.cfg.Trace
+	tc.Hists = f.reg.Latency()
+	f.tracer = trace.New(tc)
 	clock := &ctlClock{epoch: f.started, mu: &f.ctl}
 	f.ctl.Lock()
 	f.th = core.NewThinner(clock, f.cfg.Thinner)
@@ -187,6 +204,7 @@ func NewFront(origin Origin, cfg Config) *Front {
 	f.th.Admit = f.admit
 	f.th.Evict = f.evict
 	f.th.Metrics = &f.reg
+	f.th.Trace = f.tracer
 	f.ctl.Unlock()
 	return f
 }
@@ -300,6 +318,7 @@ func (f *Front) Arrive(id core.RequestID, w any) core.ArriveVerdict {
 	if !f.table.SetWaiter(id, w) {
 		// A request with this id is already held. Overwriting would
 		// strand the earlier waiter until RequestTimeout.
+		f.tracer.OnDuplicate(uint64(id), f.now())
 		return core.ArriveDuplicate
 	}
 	f.th.RequestArrived(id)
@@ -323,6 +342,11 @@ func (f *Front) ReleaseWaiter(id core.RequestID, w any) {
 // transports record into the same /telemetry stream.
 func (f *Front) Registry() *metrics.Registry { return &f.reg }
 
+// Tracer exposes the front's request-lifecycle tracer (nil when
+// tracing is disabled) so additional transports — the wire listener —
+// credit into the same sampled records.
+func (f *Front) Tracer() *trace.Tracer { return f.tracer }
+
 // ServeHTTP implements http.Handler.
 func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
@@ -332,6 +356,10 @@ func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.handlePay(w, r)
 	case "/stats":
 		f.handleStats(w)
+	case "/metrics":
+		f.handleMetrics(w)
+	case "/trace":
+		f.handleTrace(w, r)
 	case "/healthz":
 		f.handleHealthz(w)
 	case "/telemetry":
@@ -385,6 +413,7 @@ func (f *Front) handleRequest(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "server busy: stream dummy bytes to /pay and re-issue with &wait=1")
 			return
 		case !f.table.SetWaiter(id, ch):
+			f.tracer.OnDuplicate(uint64(id), f.now())
 			verdict = core.ArriveDuplicate
 		default:
 			f.th.RequestArrived(id)
@@ -450,13 +479,18 @@ func (f *Front) handlePay(w http.ResponseWriter, r *http.Request) {
 		defer close(done)
 		bufp := f.bufs.Get().(*[]byte)
 		buf := *bufp
+		tr := f.tracer
 		for {
 			n, err := r.Body.Read(buf)
-			if n > 0 && pc.Credit(int64(n), f.now()) {
-				// Count only accepted bytes so the reply's paid tally
-				// matches the table (a chunk racing the settle is
-				// dropped by Credit).
-				credited.Add(int64(n))
+			if n > 0 {
+				now := f.now()
+				if pc.Credit(int64(n), now) {
+					// Count only accepted bytes so the reply's paid tally
+					// matches the table (a chunk racing the settle is
+					// dropped by Credit).
+					credited.Add(int64(n))
+					tr.OnCredit(uint64(id), int64(n), now, trace.TransportHTTP)
+				}
 			}
 			if err != nil || pc.State() != core.ChanActive {
 				break // EOF, client gone, handler returned, or settled
@@ -504,7 +538,13 @@ func stateString(st core.ChanState) string {
 
 // Stats is the JSON shape of /stats.
 type Stats struct {
-	Uptime       string  `json:"uptime"`
+	Uptime string `json:"uptime"`
+	// UptimeSeconds is the same span as a bare number, for consumers
+	// that should not parse Go duration strings.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// GOMAXPROCS is the front's scheduler width — context for judging
+	// the sharded ingest numbers below.
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Served       uint64  `json:"served"`
 	PaymentBytes int64   `json:"payment_bytes"`
 	PaymentMbps  float64 `json:"payment_mbps"`
@@ -521,8 +561,14 @@ type Stats struct {
 	Shards       int `json:"shards"`
 	// Health is the origin-health brownout ladder state ("ok",
 	// "stalled", "recovering").
-	Health        string     `json:"health"`
-	ThinnerTotals core.Stats `json:"thinner"`
+	Health string `json:"health"`
+	// Wire-transport slice of the ingest (0s when no wire listener is
+	// attached): open binary connections, frames decoded, and payment
+	// bytes credited over internal/wire.
+	WireConns       int64      `json:"wire_conns"`
+	WireFrames      uint64     `json:"wire_frames"`
+	WireIngestBytes int64      `json:"wire_ingest_bytes"`
+	ThinnerTotals   core.Stats `json:"thinner"`
 }
 
 // Snapshot returns current counters. Payment totals come from the bid
@@ -537,24 +583,112 @@ func (f *Front) Snapshot() Stats {
 	health := f.th.Health()
 	f.ctl.Unlock()
 	pay := f.table.TotalCredited()
+	snap := f.reg.Snapshot()
 	return Stats{
-		Uptime:        up.Truncate(time.Millisecond).String(),
-		Served:        f.served.Load(),
-		PaymentBytes:  pay,
-		PaymentMbps:   float64(pay) * 8 / up.Seconds() / 1e6,
-		GoingRate:     going,
-		LastWinner:    winner,
-		Contenders:    f.table.Eligible(),
-		OpenChannels:  f.table.Size(),
-		Shards:        f.table.Shards(),
-		Health:        health.String(),
-		ThinnerTotals: totals,
+		Uptime:          up.Truncate(time.Millisecond).String(),
+		UptimeSeconds:   up.Seconds(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Served:          f.served.Load(),
+		PaymentBytes:    pay,
+		PaymentMbps:     float64(pay) * 8 / up.Seconds() / 1e6,
+		GoingRate:       going,
+		LastWinner:      winner,
+		Contenders:      f.table.Eligible(),
+		OpenChannels:    f.table.Size(),
+		Shards:          f.table.Shards(),
+		Health:          health.String(),
+		WireConns:       snap.WireConns,
+		WireFrames:      snap.WireFrames,
+		WireIngestBytes: snap.WireIngestBytes,
+		ThinnerTotals:   totals,
 	}
 }
 
 func (f *Front) handleStats(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(f.Snapshot())
+}
+
+// handleMetrics renders GET /metrics: the registry's counters, gauges,
+// and lifecycle histograms in Prometheus text exposition format, plus
+// the deployment gauges only the front can see. Like /telemetry it
+// never takes the control mutex.
+func (f *Front) handleMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := f.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	up := time.Since(f.started)
+	metrics.WritePrometheusGauge(w, "speakup_uptime_seconds",
+		"Seconds since the front started.", up.Seconds())
+	metrics.WritePrometheusCounter(w, "speakup_served_total",
+		"Requests the origin completed.", float64(f.served.Load()))
+	metrics.WritePrometheusCounter(w, "speakup_ingest_bytes_total",
+		"Payment bytes credited across all transports.", float64(f.table.TotalCredited()))
+	metrics.WritePrometheusGauge(w, "speakup_open_channels",
+		"Open payment channels, orphans included.", float64(f.table.Size()))
+	metrics.WritePrometheusGauge(w, "speakup_contenders",
+		"Eligible auction contenders.", float64(f.table.Eligible()))
+	metrics.WritePrometheusGauge(w, "speakup_gomaxprocs",
+		"The front's scheduler width.", float64(runtime.GOMAXPROCS(0)))
+	if f.tracer != nil {
+		metrics.WritePrometheusGauge(w, "speakup_trace_sample_n",
+			"Tracing samples one in this many request ids.", float64(f.tracer.SampleN()))
+		metrics.WritePrometheusCounter(w, "speakup_trace_completed_total",
+			"Request-lifecycle traces retired to the ring.", float64(f.tracer.Completed()))
+		metrics.WritePrometheusCounter(w, "speakup_trace_drops_total",
+			"Sampled requests untraced because the in-flight slot table was full.", float64(f.tracer.Drops()))
+	}
+}
+
+// traceView is the NDJSON line shape of /trace: a trace.Record with
+// the enums rendered as strings and the headline latency precomputed.
+type traceView struct {
+	trace.Record
+	Verdict   string  `json:"verdict"`
+	Transport string  `json:"transport"`
+	WaitMS    float64 `json:"wait_ms"`
+}
+
+// handleTrace serves GET /trace?n=&id=: the most recent completed
+// request-lifecycle traces, newest first, one JSON object per line.
+// n bounds the count (default 100); id filters to one request id.
+// With tracing disabled the endpoint answers 404 — the knob to flip is
+// the front's trace sample rate, not a query parameter.
+func (f *Front) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if f.tracer == nil {
+		http.Error(w, "tracing disabled: start the front with a trace sample rate (thinnerd -trace-sample)",
+			http.StatusNotFound)
+		return
+	}
+	n := 100
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var id uint64
+	if raw := r.URL.Query().Get("id"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		id = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, rec := range f.tracer.Snapshot(n, id) {
+		enc.Encode(traceView{
+			Record:    rec,
+			Verdict:   rec.Verdict.String(),
+			Transport: rec.Transport.String(),
+			WaitMS:    float64(rec.Wait().Nanoseconds()) / 1e6,
+		})
+	}
 }
 
 // Healthz is the JSON shape of /healthz — the readiness probe fleet

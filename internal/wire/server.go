@@ -8,6 +8,7 @@ import (
 
 	"speakup/internal/core"
 	"speakup/internal/metrics"
+	"speakup/internal/trace"
 )
 
 // Backend is the front the wire listener feeds — the same arrival
@@ -33,6 +34,10 @@ type ServerConfig struct {
 	// frame/byte tallies (nil: no telemetry). Pass the front's own
 	// registry so /telemetry covers both listeners.
 	Registry *metrics.Registry
+	// Tracer receives sampled credit events (nil: no tracing). Pass
+	// the front's own tracer (web.Front.Tracer) so an id paying over
+	// both transports lands in one co-sampled lifecycle record.
+	Tracer *trace.Tracer
 	// ReadBuf is the per-connection read-buffer size. One socket Read
 	// into it drains many frames through the decoder. Default 256 KB.
 	ReadBuf int
@@ -323,6 +328,7 @@ func (c *conn) Credit(ch uint64, n int, first bool) {
 	if n > 0 {
 		if cc.pc.Credit(int64(n), c.now) {
 			c.credited += int64(n)
+			c.srv.cfg.Tracer.OnCredit(ch, int64(n), c.now, trace.TransportWire)
 			return
 		}
 		// The channel settled mid-frame. An OPENed channel's outcome

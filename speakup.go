@@ -40,8 +40,10 @@ import (
 	"speakup/internal/config"
 	"speakup/internal/core"
 	"speakup/internal/faults"
+	"speakup/internal/fleetwatch"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
+	"speakup/internal/trace"
 	"speakup/internal/web"
 	"speakup/internal/wire"
 )
@@ -359,6 +361,42 @@ func NewWireServer(be WireBackend, cfg WireServerConfig) *WireServer {
 
 // DialWire connects a wire client to a server address.
 func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
+
+// Observability: sampled request-lifecycle tracing ([internal/trace])
+// and fleet telemetry aggregation ([internal/fleetwatch]). Enable
+// tracing on a live front with FrontConfig.Trace (thinnerd's
+// -trace-sample); read it back at GET /trace and GET /metrics. Watch a
+// fleet of fronts with a FleetWatcher (cmd/fleetwatch).
+type (
+	// TraceConfig tunes the request-lifecycle tracer.
+	TraceConfig = trace.Config
+	// Tracer records sampled request lifecycles (nil = disabled).
+	Tracer = trace.Tracer
+	// TraceRecord is one completed lifecycle trace.
+	TraceRecord = trace.Record
+	// TraceVerdict is how a traced lifecycle ended.
+	TraceVerdict = trace.Verdict
+	// FleetWatcher aggregates telemetry across a fleet of fronts.
+	FleetWatcher = fleetwatch.Watcher
+	// FleetWatchConfig tunes a FleetWatcher.
+	FleetWatchConfig = fleetwatch.Config
+	// FleetFrontState is one watched front's latest state.
+	FleetFrontState = fleetwatch.FrontState
+	// FleetAggregate is the fleet-wide telemetry fold.
+	FleetAggregate = fleetwatch.Aggregate
+)
+
+// NewTracer creates a request-lifecycle tracer (nil when cfg.Sample
+// is 0 — the disabled tracer every hook tolerates).
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// TraceSampled reports whether id is traced at a one-in-sample rate —
+// the shared predicate that lets load generators predict the server's
+// sampled id set.
+func TraceSampled(id uint64, sample int) bool { return trace.Sampled(id, sample) }
+
+// NewFleetWatcher creates a watcher over cfg.Fronts (call Start).
+func NewFleetWatcher(cfg FleetWatchConfig) *FleetWatcher { return fleetwatch.New(cfg) }
 
 // Handler is a convenience assertion that Front serves HTTP.
 var _ http.Handler = (*web.Front)(nil)
