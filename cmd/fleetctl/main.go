@@ -1,0 +1,154 @@
+// Command fleetctl rolls one scenario file's thinner section out
+// across a fleet of thinnerd fronts — the write half of fleet
+// control, pairing cmd/fleetwatch's read half. The rollout is staged
+// and health-gated: a canary wave first, then expanding batches, each
+// wave verified to converge by config hash and then soaked while the
+// controller watches every patched front's /healthz and telemetry. If
+// a patched front browns out, sheds past the guardrail, or the
+// fleet's admission rate collapses during a soak, the rollout halts
+// and every patched front is automatically rolled back to the config
+// captured before the first push.
+//
+// Usage:
+//
+//	fleetctl -fronts http://h1:8080,http://h2:8080,... -scenario live_default
+//	         [-canary 1] [-wave-factor 2] [-max-wave 0]
+//	         [-soak 5s] [-probe 0] [-push-timeout 5s] [-retries 4]
+//	         [-policy abort|quorum] [-quorum 0.8]
+//	         [-shed-guardrail 0] [-min-admit-rate 0]
+//	         [-journal path|-] [-dry-run]
+//
+// The patch is the scenario's thinner section (a disk path wins over
+// the embedded configs/ set). Pushes are idempotent — fronts already
+// at their target hash are skipped, so re-running a converged rollout
+// is a no-op. -journal streams every decision (captures, pushes,
+// retries, soak verdicts, breaches, rollbacks) as NDJSON; "-" means
+// stdout. -dry-run prints the wave plan and patch without touching
+// the fleet.
+//
+// Exit status: 0 when the fleet converged (quorum included), 2 when a
+// guardrail breached and the rollback restored every patched front
+// (the controller did its job; the config change itself is what
+// failed), 1 when the protocol could not complete and the fleet may
+// be in a mixed state.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"speakup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetctl: ")
+	fronts := flag.String("fronts", "", "comma-separated front base URLs, in rollout order (the first -canary fronts form the canary wave)")
+	scenarioName := flag.String("scenario", "", "scenario file whose thinner section is the rollout patch (path or embedded name)")
+	canary := flag.Int("canary", 1, "canary wave size")
+	waveFactor := flag.Int("wave-factor", 2, "wave growth factor after the canary")
+	maxWave := flag.Int("max-wave", 0, "cap on any single wave's size (0: uncapped)")
+	soak := flag.Duration("soak", 5*time.Second, "observation window after each wave")
+	probe := flag.Duration("probe", 0, "health-probe cadence within a soak (0: soak/5)")
+	pushTimeout := flag.Duration("push-timeout", 5*time.Second, "per-call timeout for config pushes and health probes")
+	retries := flag.Int("retries", 4, "per-front retry budget for captures and pushes (rollbacks get double)")
+	policy := flag.String("policy", "abort", "partial-failure policy: abort (halt and roll back on any exhausted front) or quorum")
+	quorum := flag.Float64("quorum", 0.8, "minimum convergeable fraction under -policy quorum")
+	shed := flag.Int64("shed-guardrail", 0, "max arrivals a patched front may shed during a soak (0: any shed breaches; -1: disable)")
+	minAdmit := flag.Float64("min-admit-rate", 0, "fleet admissions/sec floor judged at each soak's end (0: disabled)")
+	journalPath := flag.String("journal", "", "write the NDJSON decision journal to this file (\"-\": stdout)")
+	dryRun := flag.Bool("dry-run", false, "print the wave plan and patch, touch nothing")
+	flag.Parse()
+
+	urls := splitFronts(*fronts)
+	if len(urls) == 0 {
+		log.Fatal("no fronts: pass -fronts http://host:port[,http://host:port...]")
+	}
+	if *scenarioName == "" {
+		log.Fatal("no -scenario: the rollout patch is a scenario file's thinner section")
+	}
+	doc, err := speakup.LoadScenarioFile(*scenarioName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if doc.Thinner == nil {
+		log.Fatalf("scenario %q has no thinner section to roll out", *scenarioName)
+	}
+	patch := *doc.Thinner
+
+	var journal io.Writer
+	switch *journalPath {
+	case "":
+	case "-":
+		journal = os.Stdout
+	default:
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		journal = f
+	}
+
+	ctrl, err := speakup.NewFleetController(speakup.FleetRolloutConfig{
+		Fronts:        urls,
+		Patch:         patch,
+		CanarySize:    *canary,
+		WaveFactor:    *waveFactor,
+		MaxWaveSize:   *maxWave,
+		Soak:          *soak,
+		Probe:         *probe,
+		PushTimeout:   *pushTimeout,
+		RetryBudget:   *retries,
+		Policy:        speakup.FleetRolloutPolicy(*policy),
+		Quorum:        *quorum,
+		ShedGuardrail: *shed,
+		MinAdmitRate:  *minAdmit,
+		Journal:       journal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dryRun {
+		b, _ := json.Marshal(patch)
+		fmt.Printf("patch %s (scenario %s): %s\n", *scenarioName, speakup.ScenarioFileHash(doc), b)
+		for i, wave := range ctrl.Plan() {
+			fmt.Printf("  wave %d: %s\n", i+1, strings.Join(wave, ", "))
+		}
+		fmt.Printf("soak %s per wave, policy %s; nothing pushed (dry run)\n", *soak, *policy)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, runErr := ctrl.Run(ctx)
+	fmt.Print(rep.Summary())
+	if runErr != nil {
+		log.Print(runErr)
+		os.Exit(1)
+	}
+	if rep.Outcome == speakup.FleetOutcomeRolledBack {
+		os.Exit(2)
+	}
+}
+
+func splitFronts(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}

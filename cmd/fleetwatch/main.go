@@ -103,10 +103,11 @@ func emit(w *speakup.FleetWatcher, enc *json.Encoder, jsonOut bool) {
 		enc.Encode(observation{TS: time.Now(), Aggregate: agg, Fronts: states})
 		return
 	}
-	fmt.Printf("\n=== fleet %s — %d/%d fronts up ===\n",
-		time.Now().Format("15:04:05"), agg.Connected, agg.Fronts)
-	fmt.Printf("%-28s %-5s %9s %8s %7s %6s %10s %9s %6s\n",
-		"front", "state", "ingestMB", "mbps", "admit", "evict", "contenders", "price", "health")
+	fmt.Printf("\n=== fleet %s — %d/%d fronts up, %d ok / %d stalled / %d recovering ===\n",
+		time.Now().Format("15:04:05"), agg.Connected, agg.Fronts,
+		agg.Healthy, agg.Stalled, agg.Recovering)
+	fmt.Printf("%-28s %-5s %9s %8s %7s %6s %6s %10s %9s %10s\n",
+		"front", "state", "ingestMB", "mbps", "admit", "evict", "shed", "contenders", "price", "health")
 	for _, st := range states {
 		state := "UP"
 		if !st.Connected {
@@ -117,13 +118,17 @@ func emit(w *speakup.FleetWatcher, enc *json.Encoder, jsonOut bool) {
 		if !st.Connected && st.LastErr != "" {
 			note = "  # " + st.LastErr
 		}
-		fmt.Printf("%-28s %-5s %9.1f %8.1f %7d %6d %10d %9d %6s%s\n",
+		health := st.Health
+		if health == "" {
+			health = "-" // never reported
+		}
+		fmt.Printf("%-28s %-5s %9.1f %8.1f %7d %6d %6d %10d %9d %10s%s\n",
 			trimURL(st.URL), state, float64(s.IngestBytes)/1e6, s.IngestMbps,
-			s.Admitted, s.Evicted, s.Contenders, s.GoingPrice, healthName(s.Health), note)
+			s.Admitted, s.Evicted, s.Shed, s.Contenders, s.GoingPrice, health, note)
 	}
-	fmt.Printf("%-28s %-5s %9.1f %8.1f %7d %6d %10d %9d\n",
+	fmt.Printf("%-28s %-5s %9.1f %8.1f %7d %6d %6d %10d %9d\n",
 		"TOTAL", "", float64(agg.IngestBytes)/1e6, agg.IngestMbps,
-		agg.Admitted, agg.Evicted, agg.Contenders, agg.GoingPriceMax)
+		agg.Admitted, agg.Evicted, agg.Shed, agg.Contenders, agg.GoingPriceMax)
 }
 
 func trimURL(u string) string {
@@ -132,14 +137,4 @@ func trimURL(u string) string {
 		u = u[:25] + "..."
 	}
 	return u
-}
-
-func healthName(h int32) string {
-	switch h {
-	case 1:
-		return "stall"
-	case 2:
-		return "recov"
-	}
-	return "ok"
 }

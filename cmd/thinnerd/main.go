@@ -42,7 +42,11 @@
 // POST bodies), /stats (JSON counters), /telemetry (NDJSON metrics
 // stream, ?interval=1s), /control/config (GET the live thinner
 // config; POST a partial config to reconfigure safely under load —
-// shard changes are rejected). Drive it with cmd/loadgen or curl:
+// shard changes are rejected, and a mid-brownout POST is refused with
+// 503 + Retry-After until the origin recovers). Config responses and
+// /stats carry a canonical config_hash — the convergence identity
+// cmd/fleetctl verifies staged rollouts against; the daemon logs it
+// at startup. Drive it with cmd/loadgen or curl:
 //
 //	curl 'http://localhost:8080/request?id=1'
 //	curl -X POST --data-binary @bigfile 'http://localhost:8080/pay?id=2'
@@ -204,6 +208,10 @@ func main() {
 	}
 	log.Printf("speak-up thinner on %s (origin capacity %.1f req/s, %d ingest shards)",
 		*addr, capRPS, front.Table().Shards())
+	// The effective config's canonical hash — what /control/config and
+	// /stats report, and what fleetctl verifies convergence against.
+	log.Printf("config hash %s (thinner %+v)",
+		speakup.ThinnerConfigHash(front.ThinnerConfig()), front.ThinnerConfig())
 	log.Printf("endpoints: /request?id=N  /pay?id=N  /stats  /metrics  /trace  /healthz  /telemetry  /control/config")
 
 	select {

@@ -183,18 +183,21 @@ type Thinner struct {
 
 // DecodeThinner strictly decodes one Thinner section — the body of
 // thinnerd's /control/config endpoint. Unknown fields and trailing
-// data are errors, so a typoed knob cannot silently no-op.
+// data are errors, so a typoed knob cannot silently no-op. The one
+// tolerated extra is config_hash, so a captured GET response can be
+// POSTed straight back as a restore; the hash value itself is ignored
+// (the body is a patch — its identity is decided by the receiver).
 func DecodeThinner(r io.Reader) (Thinner, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	var t Thinner
+	var t ThinnerStatus
 	if err := dec.Decode(&t); err != nil {
 		return Thinner{}, fmt.Errorf("config: thinner section: %w", err)
 	}
 	if dec.More() {
 		return Thinner{}, fmt.Errorf("config: trailing data after thinner section")
 	}
-	return t, nil
+	return t.Thinner, nil
 }
 
 // ThinnerFromCore converts a core config back to its schema section

@@ -1,0 +1,106 @@
+package config
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sec(n int) Duration { return Duration(time.Duration(n) * time.Second) }
+
+// TestMergeThinner pins the POST patch semantics the fleet controller
+// relies on: non-zero patch fields win, zero fields keep base.
+func TestMergeThinner(t *testing.T) {
+	base := Thinner{OrphanTimeout: sec(10), InactivityTimeout: sec(30), SweepInterval: sec(1), Shards: 8}
+	patch := Thinner{OrphanTimeout: sec(4), SweepInterval: sec(2)}
+	got := MergeThinner(base, patch)
+	want := Thinner{OrphanTimeout: sec(4), InactivityTimeout: sec(30), SweepInterval: sec(2), Shards: 8}
+	if got != want {
+		t.Fatalf("MergeThinner = %+v, want %+v", got, want)
+	}
+	if got := MergeThinner(base, Thinner{}); got != base {
+		t.Fatalf("empty patch changed base: %+v", got)
+	}
+}
+
+// TestDiffThinner checks diff produces the minimal patch and that
+// merge(base, diff(base, target)) == target — the controller's
+// push-then-verify identity.
+func TestDiffThinner(t *testing.T) {
+	base := Thinner{OrphanTimeout: sec(10), InactivityTimeout: sec(30), SweepInterval: sec(1), Shards: 8}
+	target := Thinner{OrphanTimeout: sec(10), InactivityTimeout: sec(20), SweepInterval: sec(2), Shards: 8}
+	d := DiffThinner(base, target)
+	want := Thinner{InactivityTimeout: sec(20), SweepInterval: sec(2)}
+	if d != want {
+		t.Fatalf("DiffThinner = %+v, want %+v", d, want)
+	}
+	if got := MergeThinner(base, d); got != target {
+		t.Fatalf("merge(base, diff) = %+v, want %+v", got, target)
+	}
+	// Identical configs diff to the zero patch — the idempotent skip.
+	if d := DiffThinner(base, base); d != (Thinner{}) {
+		t.Fatalf("self-diff = %+v, want zero", d)
+	}
+}
+
+// TestHashThinner checks the hash is stable, order-free (it hashes a
+// canonical encoding), and sensitive to every field.
+func TestHashThinner(t *testing.T) {
+	a := Thinner{OrphanTimeout: sec(10), InactivityTimeout: sec(30), SweepInterval: sec(1), Shards: 8}
+	if HashThinner(a) != HashThinner(a) {
+		t.Fatal("hash not deterministic")
+	}
+	if len(HashThinner(a)) != 64 || len(ShortHashThinner(a)) != 12 {
+		t.Fatalf("hash lengths: %d / %d", len(HashThinner(a)), len(ShortHashThinner(a)))
+	}
+	mutations := []Thinner{
+		{OrphanTimeout: sec(9), InactivityTimeout: sec(30), SweepInterval: sec(1), Shards: 8},
+		{OrphanTimeout: sec(10), InactivityTimeout: sec(29), SweepInterval: sec(1), Shards: 8},
+		{OrphanTimeout: sec(10), InactivityTimeout: sec(30), SweepInterval: sec(2), Shards: 8},
+		{OrphanTimeout: sec(10), InactivityTimeout: sec(30), SweepInterval: sec(1), Shards: 16},
+	}
+	for i, m := range mutations {
+		if HashThinner(m) == HashThinner(a) {
+			t.Errorf("mutation %d did not move the hash", i)
+		}
+	}
+}
+
+// TestThinnerStatusRoundTrip checks the /control/config response shape:
+// flattened thinner fields plus config_hash, decodable back into both
+// the status struct and (via DecodeThinner) a plain patch.
+func TestThinnerStatusRoundTrip(t *testing.T) {
+	cfg := Thinner{OrphanTimeout: sec(10), InactivityTimeout: sec(30), SweepInterval: sec(1), Shards: 8}
+	st := StatusOf(cfg)
+	if st.ConfigHash != HashThinner(cfg) {
+		t.Fatal("StatusOf hash mismatch")
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"config_hash"`) || !strings.Contains(string(b), `"orphan_timeout"`) {
+		t.Fatalf("status encoding not flattened: %s", b)
+	}
+	var back ThinnerStatus
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Thinner != cfg || back.ConfigHash != st.ConfigHash {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// A captured GET body POSTs back as a restore: DecodeThinner
+	// tolerates (and ignores) config_hash.
+	patch, err := DecodeThinner(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatalf("DecodeThinner on a status body: %v", err)
+	}
+	if patch != cfg {
+		t.Fatalf("restore patch = %+v, want %+v", patch, cfg)
+	}
+	// Strictness survives: a typoed knob still fails loudly.
+	if _, err := DecodeThinner(strings.NewReader(`{"orphan_timeut":"1s"}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+}

@@ -1,0 +1,360 @@
+package fleetctl
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speakup/internal/config"
+	"speakup/internal/core"
+	"speakup/internal/faults"
+	"speakup/internal/web"
+)
+
+// These tests drive real thinnerd fronts (web.Front over httptest)
+// through full rollouts: the happy path, a forced mid-rollout origin
+// brownout that must trigger automatic rollback, and an unreachable
+// front that must be retried through. CI runs them under -race.
+
+func fastOrigin() web.Origin {
+	return web.OriginFunc(func(id core.RequestID) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+}
+
+// startFront boots one front with its own shard count (heterogeneous
+// fleets exercise the per-front target hashes).
+func startFront(t *testing.T, origin web.Origin, stallAfter time.Duration, shards int) (*web.Front, string) {
+	t.Helper()
+	front := web.NewFront(origin, web.Config{
+		PayPollInterval:  5 * time.Millisecond,
+		OriginStallAfter: stallAfter,
+		Thinner: core.Config{
+			OrphanTimeout:     500 * time.Millisecond,
+			InactivityTimeout: time.Second,
+			SweepInterval:     25 * time.Millisecond,
+			Shards:            shards,
+		},
+	})
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() {
+		srv.Close()
+		front.Close()
+	})
+	return front, srv.URL
+}
+
+// eventHook is an io.Writer the journal tees into; it fires a
+// callback once when a journal line contains every substring of a
+// rule. Tests use it to inject failures at exact protocol points.
+type eventHook struct {
+	mu    sync.Mutex
+	rules []*hookRule
+}
+
+type hookRule struct {
+	subs  []string
+	fired bool
+	fn    func()
+}
+
+func (h *eventHook) on(fn func(), subs ...string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rules = append(h.rules, &hookRule{subs: subs, fn: fn})
+}
+
+func (h *eventHook) Write(p []byte) (int, error) {
+	line := string(p)
+	h.mu.Lock()
+	var fire []func()
+	for _, r := range h.rules {
+		if r.fired {
+			continue
+		}
+		match := true
+		for _, s := range r.subs {
+			if !strings.Contains(line, s) {
+				match = false
+				break
+			}
+		}
+		if match {
+			r.fired = true
+			fire = append(fire, r.fn)
+		}
+	}
+	h.mu.Unlock()
+	for _, fn := range fire {
+		fn()
+	}
+	return len(p), nil
+}
+
+func TestFleetRolloutHappyPath(t *testing.T) {
+	var fronts []*web.Front
+	var urls []string
+	for _, shards := range []int{4, 8, 8} {
+		f, u := startFront(t, fastOrigin(), 0, shards)
+		fronts = append(fronts, f)
+		urls = append(urls, u)
+	}
+	patch := config.Thinner{
+		OrphanTimeout: config.Duration(4 * time.Second),
+		SweepInterval: config.Duration(50 * time.Millisecond),
+	}
+	var jbuf bytes.Buffer
+	run := func() *Report {
+		c, err := New(Config{
+			Fronts: urls, Patch: patch,
+			Soak: 250 * time.Millisecond, Probe: 60 * time.Millisecond,
+			PushTimeout: 2 * time.Second, TelemetryInterval: 50 * time.Millisecond,
+			Backoff: faults.Backoff{Base: 20 * time.Millisecond, Cap: 100 * time.Millisecond},
+			Journal: &jbuf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("Run: %v\n%s", err, rep.Summary())
+		}
+		return rep
+	}
+
+	rep := run()
+	if rep.Outcome != OutcomeConverged {
+		t.Fatalf("outcome = %s, want converged\n%s", rep.Outcome, rep.Summary())
+	}
+	// 3 fronts, canary 1, factor 2: exactly the planned [1, 2] waves.
+	if rep.Waves != 2 || rep.PlannedWaves != 2 {
+		t.Fatalf("waves = %d/%d, want 2/2", rep.Waves, rep.PlannedWaves)
+	}
+	for i, fr := range rep.Fronts {
+		if !fr.Converged || fr.Skipped || !fr.Pushed {
+			t.Fatalf("front %d not pushed+converged: %+v", i, fr)
+		}
+		if fr.FinalHash != fr.TargetHash || fr.FinalHash == fr.PriorHash {
+			t.Fatalf("front %d hashes: %+v", i, fr)
+		}
+	}
+	// Heterogeneous shard counts mean per-front target hashes.
+	if rep.Fronts[0].TargetHash == rep.Fronts[1].TargetHash {
+		t.Fatal("4-shard and 8-shard fronts share a target hash")
+	}
+	// The live configs really moved: patched fields at the patch
+	// values, untouched fields (and shards) intact.
+	for i, f := range fronts {
+		got := f.ThinnerConfig()
+		if got.OrphanTimeout != patch.OrphanTimeout || got.SweepInterval != patch.SweepInterval {
+			t.Fatalf("front %d live config %+v missed the patch", i, got)
+		}
+		if got.InactivityTimeout != config.Duration(time.Second) {
+			t.Fatalf("front %d unpatched field moved: %+v", i, got)
+		}
+	}
+	if fronts[0].ThinnerConfig().Shards == fronts[1].ThinnerConfig().Shards {
+		t.Fatal("rollout flattened the fleet's shard counts")
+	}
+
+	// Re-running a converged rollout is a no-op: every front skips.
+	rep2 := run()
+	if rep2.Outcome != OutcomeConverged {
+		t.Fatalf("re-run outcome = %s\n%s", rep2.Outcome, rep2.Summary())
+	}
+	for i, fr := range rep2.Fronts {
+		if !fr.Skipped || fr.Pushed {
+			t.Fatalf("re-run front %d not idempotent: %+v", i, fr)
+		}
+	}
+}
+
+func TestFleetRolloutBrownoutRollback(t *testing.T) {
+	// Front 0's origin can be armed to hang exactly one Serve call
+	// until release — the stall-armed pattern from the web brownout
+	// test, here fired mid-rollout by a journal hook.
+	var stallArmed atomic.Bool
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	thaw := func() { releaseOnce.Do(func() { close(release) }) }
+	defer thaw()
+	stallOrigin := web.OriginFunc(func(id core.RequestID) ([]byte, error) {
+		if stallArmed.CompareAndSwap(true, false) {
+			<-release
+		}
+		return []byte("ok"), nil
+	})
+
+	front0, url0 := startFront(t, stallOrigin, 100*time.Millisecond, 4)
+	_, url1 := startFront(t, fastOrigin(), 0, 8)
+	_, url2 := startFront(t, fastOrigin(), 0, 8)
+	urls := []string{url0, url1, url2}
+
+	// Wave 1 patches the canary (front 0) and soaks clean. When wave
+	// 2's soak opens, hang front 0's origin: its watchdog declares the
+	// stall, the soak guardrail must breach, and the controller must
+	// roll all three fronts back. The origin thaws only once rollback
+	// begins, so the rollback POST to front 0 first eats mid-brownout
+	// 503s and has to retry through them.
+	blockedReq := make(chan error, 1)
+	hook := &eventHook{}
+	hook.on(func() {
+		stallArmed.Store(true)
+		go func() {
+			resp, err := http.Get(url0 + "/request?id=999")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			blockedReq <- err
+		}()
+	}, `"event":"soak_start"`, `"wave":2`)
+	// Thaw only once the rollback has actually eaten a mid-brownout 503
+	// from the stalled canary: the restore must retry through the very
+	// brownout that triggered it.
+	hook.on(thaw, `"event":"rollback_retry"`, `"front":"`+url0+`"`)
+
+	var jbuf bytes.Buffer
+	c, err := New(Config{
+		Fronts: urls,
+		Patch:  config.Thinner{OrphanTimeout: config.Duration(4 * time.Second)},
+		Soak:   2 * time.Second, Probe: 100 * time.Millisecond,
+		PushTimeout: time.Second, RetryBudget: 4,
+		Backoff:           faults.Backoff{Base: 50 * time.Millisecond, Cap: 300 * time.Millisecond},
+		TelemetryInterval: 50 * time.Millisecond,
+		Journal:           io.MultiWriter(hook, &jbuf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v\n%s\njournal:\n%s", err, rep.Summary(), jbuf.String())
+	}
+	if rep.Outcome != OutcomeRolledBack {
+		t.Fatalf("outcome = %s, want rolled-back\n%s\njournal:\n%s", rep.Outcome, rep.Summary(), jbuf.String())
+	}
+	if rep.Waves != 2 {
+		t.Fatalf("halted at wave %d, want 2", rep.Waves)
+	}
+	if !strings.Contains(rep.Breach, url0) {
+		t.Fatalf("breach %q does not name the stalled front %s", rep.Breach, url0)
+	}
+	for i, fr := range rep.Fronts {
+		if !fr.Pushed {
+			t.Fatalf("front %d never pushed: %+v", i, fr)
+		}
+		if !fr.RolledBack || fr.Failure != "" {
+			t.Fatalf("front %d not rolled back: %+v", i, fr)
+		}
+		if fr.FinalHash != fr.PriorHash {
+			t.Fatalf("front %d final hash %s, want prior %s", i, short(fr.FinalHash), short(fr.PriorHash))
+		}
+	}
+	// The rollback fought through at least one mid-brownout 503 on the
+	// stalled canary.
+	if !strings.Contains(jbuf.String(), "rollback_retry") {
+		t.Fatalf("rollback never retried through the brownout:\n%s", jbuf.String())
+	}
+	// Live configs are back at pre-rollout values.
+	if got := front0.ThinnerConfig().OrphanTimeout; got != config.Duration(500*time.Millisecond) {
+		t.Fatalf("front 0 orphan timeout %v after rollback, want the pre-rollout 500ms", got)
+	}
+
+	// The request that caused the stall drains; no stranded waiters or
+	// leaked channels on the recovered canary.
+	select {
+	case err := <-blockedReq:
+		if err != nil {
+			t.Fatalf("stalling request failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalling request stranded after recovery")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for (front0.Table().Waiters() > 0 || front0.Table().Size() > 0) && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := front0.Table().Waiters(); n > 0 {
+		t.Fatalf("%d waiters stranded on the rolled-back canary", n)
+	}
+	if n := front0.Table().Size(); n > 0 {
+		t.Fatalf("%d channels leaked on the rolled-back canary", n)
+	}
+}
+
+func TestFleetRolloutUnreachableFrontRetry(t *testing.T) {
+	_, url0 := startFront(t, fastOrigin(), 0, 4)
+	_, url1 := startFront(t, fastOrigin(), 0, 8)
+
+	// Front 2 owns a listening socket from the start (connects land in
+	// the accept backlog) but only begins serving after a delay: every
+	// early config call hangs until its PushTimeout and must be
+	// retried, not declared fatal.
+	lateFront := web.NewFront(fastOrigin(), web.Config{
+		PayPollInterval: 5 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout:     500 * time.Millisecond,
+			InactivityTimeout: time.Second,
+			SweepInterval:     25 * time.Millisecond,
+			Shards:            8,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		lateFront.Close()
+	})
+	go func() {
+		time.Sleep(600 * time.Millisecond)
+		http.Serve(ln, lateFront)
+	}()
+	url2 := "http://" + ln.Addr().String()
+
+	var jbuf bytes.Buffer
+	c, err := New(Config{
+		Fronts: []string{url0, url1, url2},
+		Patch:  config.Thinner{OrphanTimeout: config.Duration(4 * time.Second)},
+		Soak:   200 * time.Millisecond, Probe: 60 * time.Millisecond,
+		PushTimeout: 200 * time.Millisecond, RetryBudget: 8,
+		Backoff:           faults.Backoff{Base: 100 * time.Millisecond, Cap: 300 * time.Millisecond},
+		TelemetryInterval: 50 * time.Millisecond,
+		Journal:           &jbuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v\n%s\njournal:\n%s", err, rep.Summary(), jbuf.String())
+	}
+	if rep.Outcome != OutcomeConverged {
+		t.Fatalf("outcome = %s, want converged\n%s", rep.Outcome, rep.Summary())
+	}
+	var late *FrontReport
+	for i := range rep.Fronts {
+		if rep.Fronts[i].URL == url2 {
+			late = &rep.Fronts[i]
+		}
+	}
+	if late == nil || !late.Converged {
+		t.Fatalf("late front never converged: %+v\n%s", late, rep.Summary())
+	}
+	if late.Attempts < 2 {
+		t.Fatalf("late front converged in %d attempt(s): the outage was never exercised", late.Attempts)
+	}
+	if got := lateFront.ThinnerConfig().OrphanTimeout; got != config.Duration(4*time.Second) {
+		t.Fatalf("late front orphan timeout %v, want the patched 4s", got)
+	}
+}

@@ -1,0 +1,655 @@
+// Package fleetctl is the write half of fleet control: it takes one
+// scenario file's thinner section and rolls it out across N thinnerd
+// fronts as /control/config patches in health-gated waves — canary
+// first, then expanding batches — verifying convergence by config
+// hash after each wave. Between waves the controller soaks: it
+// watches every patched front's /healthz and telemetry (via the
+// fleetwatch subscriber) for a configurable window, and if any
+// patched front reports a brownout, sheds past a guardrail, or the
+// fleet's good-service rate collapses, the rollout halts and every
+// already-patched front is automatically rolled back to its captured
+// pre-rollout config, converging the fleet back to the prior hashes.
+//
+// The protocol is defensive at every step:
+//
+//   - Pushes are idempotent: a front already at its target hash is
+//     skipped, and re-running a converged rollout touches nothing.
+//   - Every push carries the full merged target section (not the bare
+//     patch), so a concurrent writer cannot leave a front half-moved;
+//     convergence is re-verified by hash after every wave.
+//   - Each front gets bounded retry/backoff with per-call timeouts; a
+//     front that answers 503 (including the mid-brownout reconfig
+//     rejection) is retried, a 400 is a fatal patch error.
+//   - Partial failure follows the configured policy: abort-and-
+//     rollback (default) halts on the first exhausted front, quorum
+//     tolerates failures while the convergeable fraction stays at or
+//     above Config.Quorum.
+//   - Every decision is journaled as NDJSON for audit.
+package fleetctl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"speakup/internal/config"
+	"speakup/internal/faults"
+	"speakup/internal/fleetwatch"
+)
+
+// Policy selects how a rollout treats fronts whose pushes fail after
+// the retry budget (unreachable hosts, persistent rejections).
+type Policy string
+
+const (
+	// PolicyAbort (default): any exhausted front halts the rollout and
+	// rolls back everything already patched.
+	PolicyAbort Policy = "abort"
+	// PolicyQuorum: failed fronts are recorded and the rollout
+	// continues while the fraction of fronts still convergeable is at
+	// least Config.Quorum; dropping below it triggers rollback.
+	PolicyQuorum Policy = "quorum"
+)
+
+// Config tunes a rollout Controller.
+type Config struct {
+	// Fronts are the thinnerd base URLs in rollout order (the first
+	// CanarySize fronts form the canary wave).
+	Fronts []string
+	// Patch is the thinner section to fan out; zero fields mean
+	// "unchanged" (the /control/config POST contract). Typically the
+	// thinner section of a scenario file.
+	Patch config.Thinner
+	// CanarySize is wave 0's size. Default 1.
+	CanarySize int
+	// WaveFactor multiplies each subsequent wave's size. Default 2
+	// (1, 2, 4, ... fronts).
+	WaveFactor int
+	// MaxWaveSize caps any single wave. 0: unlimited.
+	MaxWaveSize int
+	// Soak is the observation window after each wave (the last wave
+	// included) during which guardrails can still roll the fleet back.
+	// Default 5s.
+	Soak time.Duration
+	// Probe is the health-poll cadence within a soak window. Default
+	// Soak/5, floored at 50ms.
+	Probe time.Duration
+	// PushTimeout bounds each config GET/POST and healthz probe.
+	// Default 5s.
+	PushTimeout time.Duration
+	// RetryBudget is the per-front retry count for captures and
+	// pushes. Default 4. Rollback pushes get twice this budget: they
+	// must outlast the brownout that triggered them.
+	RetryBudget int
+	// Backoff paces retries (bounded jittered exponential).
+	Backoff faults.Backoff
+	// Policy is the partial-failure policy. Default PolicyAbort.
+	Policy Policy
+	// Quorum is the minimum convergeable fraction under PolicyQuorum.
+	// Default 0.8.
+	Quorum float64
+	// ShedGuardrail breaches a soak when any patched front sheds more
+	// than this many arrivals during the window. 0 (default) means any
+	// shed breaches; negative disables the guardrail.
+	ShedGuardrail int64
+	// MinAdmitRate breaches a soak when the fleet-wide admission rate
+	// (admitted/sec summed over reporting fronts) falls below it. 0
+	// disables — the right setting depends on offered load, so it is
+	// opt-in.
+	MinAdmitRate float64
+	// TelemetryInterval is the cadence requested from each front's
+	// /telemetry stream. Default 500ms.
+	TelemetryInterval time.Duration
+	// Journal receives the NDJSON decision journal (nil: no journal).
+	Journal io.Writer
+	// Client issues all HTTP calls. Default: a fresh http.Client (per-
+	// call timeouts come from PushTimeout contexts).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.CanarySize <= 0 {
+		c.CanarySize = 1
+	}
+	if c.WaveFactor <= 1 {
+		c.WaveFactor = 2
+	}
+	if c.Soak <= 0 {
+		c.Soak = 5 * time.Second
+	}
+	if c.Probe <= 0 {
+		c.Probe = c.Soak / 5
+	}
+	if c.Probe < 50*time.Millisecond {
+		c.Probe = 50 * time.Millisecond
+	}
+	if c.PushTimeout <= 0 {
+		c.PushTimeout = 5 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 4
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyAbort
+	}
+	if c.Quorum <= 0 || c.Quorum > 1 {
+		c.Quorum = 0.8
+	}
+	if c.TelemetryInterval <= 0 {
+		c.TelemetryInterval = 500 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// frontState is one front's mutable rollout state.
+type frontState struct {
+	url        string
+	wave       int // 1-based journal numbering
+	prior      config.Thinner
+	priorHash  string
+	target     config.Thinner
+	targetHash string
+	finalHash  string
+	skipped    bool
+	pushed     bool
+	converged  bool
+	rolledBack bool
+	attempts   int
+	failure    string
+}
+
+// Controller executes one staged rollout. Create with New, call Run
+// once.
+type Controller struct {
+	cfg     Config
+	jr      *journal
+	mu      sync.Mutex // guards fronts' mutable fields across push goroutines
+	fronts  []*frontState
+	watcher *fleetwatch.Watcher
+}
+
+// New creates a controller for cfg. It validates the front list but
+// performs no I/O until Run.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Fronts) == 0 {
+		return nil, errors.New("fleetctl: no fronts")
+	}
+	if cfg.Policy != PolicyAbort && cfg.Policy != PolicyQuorum {
+		return nil, fmt.Errorf("fleetctl: unknown policy %q (want %q or %q)", cfg.Policy, PolicyAbort, PolicyQuorum)
+	}
+	seen := map[string]bool{}
+	c := &Controller{cfg: cfg, jr: newJournal(cfg.Journal)}
+	for _, u := range cfg.Fronts {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" || seen[u] {
+			return nil, fmt.Errorf("fleetctl: empty or duplicate front %q", u)
+		}
+		seen[u] = true
+		c.fronts = append(c.fronts, &frontState{url: u})
+	}
+	return c, nil
+}
+
+// Plan returns the wave partition Run would use if every capture
+// succeeds — front URLs per wave, canary first. It performs no I/O,
+// so a CLI dry-run can print the plan without touching the fleet.
+func (c *Controller) Plan() [][]string {
+	waves := c.planWaves()
+	out := make([][]string, len(waves))
+	for i, w := range waves {
+		out[i] = urlsOf(w)
+	}
+	return out
+}
+
+// Run executes the rollout: capture, staged waves with soak windows,
+// and — on a guardrail breach or a fatal push failure — automatic
+// rollback of every patched front. The returned Report is non-nil
+// whenever the protocol ran; the error is non-nil only when the fleet
+// may be left inconsistent (capture aborted, invalid patch, or a
+// rollback that could not converge). A clean rollback returns
+// OutcomeRolledBack with a nil error: the controller did its job.
+func (c *Controller) Run(ctx context.Context) (*Report, error) {
+	c.watcher = fleetwatch.New(fleetwatch.Config{
+		Fronts:   c.urls(),
+		Interval: c.cfg.TelemetryInterval,
+		Backoff:  c.cfg.Backoff,
+		Client:   c.cfg.Client,
+	})
+	c.watcher.Start(ctx)
+	defer c.watcher.Stop()
+
+	if err := c.capture(ctx); err != nil {
+		return c.report(OutcomeFailed, 0, 0, ""), err
+	}
+
+	waves := c.planWaves()
+	c.jr.log(Entry{Event: "plan", Fronts: c.urls(), Reason: fmt.Sprintf(
+		"policy=%s canary=%d factor=%d waves=%d soak=%s patch=%s",
+		c.cfg.Policy, c.cfg.CanarySize, c.cfg.WaveFactor, len(waves), c.cfg.Soak, patchString(c.cfg.Patch))})
+
+	var patched []*frontState // every front a POST was attempted on
+	for wi, wave := range waves {
+		waveNo := wi + 1
+		c.jr.log(Entry{Event: "wave_start", Wave: waveNo, Fronts: urlsOf(wave)})
+		fatal := c.pushWave(ctx, waveNo, wave, &patched)
+		if fatal != "" {
+			return c.haltAndRollback(ctx, waveNo, patched, "push: "+fatal)
+		}
+		if !c.policyHolds() {
+			return c.haltAndRollback(ctx, waveNo, patched, c.policyBreach())
+		}
+		c.jr.log(Entry{Event: "wave_converged", Wave: waveNo, Fronts: urlsOf(wave)})
+
+		if breach := c.soak(ctx, waveNo, patched); breach != "" {
+			return c.haltAndRollback(ctx, waveNo, patched, breach)
+		}
+		c.jr.log(Entry{Event: "soak_ok", Wave: waveNo})
+	}
+
+	outcome := OutcomeConverged
+	if c.failedFronts() > 0 {
+		outcome = OutcomeQuorum
+	}
+	c.jr.log(Entry{Event: "done", Outcome: outcome})
+	return c.report(outcome, len(waves), len(waves), ""), nil
+}
+
+func (c *Controller) urls() []string {
+	out := make([]string, len(c.fronts))
+	for i, f := range c.fronts {
+		out[i] = f.url
+	}
+	return out
+}
+
+func urlsOf(fs []*frontState) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.url
+	}
+	return out
+}
+
+func patchString(t config.Thinner) string {
+	b, _ := json.Marshal(t)
+	return string(b)
+}
+
+// capture GETs every front's pre-rollout config (with retries) and
+// computes its per-front merged target + hash. Under PolicyAbort any
+// capture failure aborts the rollout before anything is mutated;
+// under PolicyQuorum failed fronts are excluded from the waves and
+// counted against the quorum.
+func (c *Controller) capture(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, f := range c.fronts {
+		wg.Add(1)
+		go func(f *frontState) {
+			defer wg.Done()
+			st, err := c.getConfigRetry(ctx, f, c.cfg.RetryBudget)
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if err != nil {
+				f.failure = "capture: " + err.Error()
+				c.jr.log(Entry{Event: "capture_failed", Front: f.url, Err: err.Error()})
+				return
+			}
+			f.prior = st.Thinner
+			f.priorHash = st.ConfigHash
+			f.target = config.MergeThinner(st.Thinner, c.cfg.Patch)
+			f.targetHash = config.HashThinner(f.target)
+			f.finalHash = st.ConfigHash
+			c.jr.log(Entry{Event: "capture", Front: f.url, Hash: f.priorHash, Target: f.targetHash})
+		}(f)
+	}
+	wg.Wait()
+	if n := c.failedFronts(); n > 0 {
+		if c.cfg.Policy == PolicyAbort {
+			return fmt.Errorf("fleetctl: %d front(s) unreachable at capture (policy abort; nothing was pushed)", n)
+		}
+		if !c.policyHolds() {
+			return fmt.Errorf("fleetctl: %d front(s) unreachable at capture, quorum %.2f unreachable before any push", n, c.cfg.Quorum)
+		}
+	}
+	return nil
+}
+
+// planWaves slices the captured (non-failed) fronts into canary-first
+// expanding batches.
+func (c *Controller) planWaves() [][]*frontState {
+	var live []*frontState
+	for _, f := range c.fronts {
+		if f.failure == "" {
+			live = append(live, f)
+		}
+	}
+	var waves [][]*frontState
+	size := c.cfg.CanarySize
+	for len(live) > 0 {
+		if c.cfg.MaxWaveSize > 0 && size > c.cfg.MaxWaveSize {
+			size = c.cfg.MaxWaveSize
+		}
+		if size > len(live) {
+			size = len(live)
+		}
+		wave := live[:size]
+		live = live[size:]
+		for _, f := range wave {
+			f.wave = len(waves) + 1
+		}
+		waves = append(waves, wave)
+		size *= c.cfg.WaveFactor
+	}
+	return waves
+}
+
+// pushWave pushes one wave's fronts concurrently and then re-verifies
+// each front's hash with a GET. It returns a non-empty fatal reason
+// when a patch was rejected as invalid (400): retrying a rejected
+// patch elsewhere would just break more fronts.
+func (c *Controller) pushWave(ctx context.Context, waveNo int, wave []*frontState, patched *[]*frontState) (fatal string) {
+	var wg sync.WaitGroup
+	for _, f := range wave {
+		c.mu.Lock()
+		if f.priorHash == f.targetHash {
+			f.skipped = true
+			f.converged = true
+			c.jr.log(Entry{Event: "skip", Wave: waveNo, Front: f.url, Hash: f.priorHash,
+				Reason: "already at target hash"})
+			c.mu.Unlock()
+			continue
+		}
+		f.pushed = true
+		*patched = append(*patched, f)
+		c.mu.Unlock()
+		wg.Add(1)
+		go func(f *frontState) {
+			defer wg.Done()
+			err := c.pushConfig(ctx, waveNo, f, f.target, f.targetHash, c.cfg.RetryBudget, "push")
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if err != nil {
+				f.failure = "push: " + err.Error()
+				c.jr.log(Entry{Event: "push_failed", Wave: waveNo, Front: f.url, Err: err.Error()})
+				return
+			}
+			f.converged = true
+		}(f)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range wave {
+		if strings.Contains(f.failure, errFatalPatch.Error()) {
+			return f.failure
+		}
+	}
+	return ""
+}
+
+// errFatalPatch marks a 400 from /control/config: the patch itself is
+// invalid, so no amount of retrying (here or on other fronts) helps.
+var errFatalPatch = errors.New("patch rejected as invalid")
+
+// pushConfig drives one front to the given config: POST the full
+// merged section (idempotent, self-healing against concurrent
+// writers), verify the response hash, and re-verify with a GET. 503s
+// — the mid-brownout reconfig rejection included — time-outs, and
+// transport errors retry on the backoff ladder; 400 is fatal.
+func (c *Controller) pushConfig(ctx context.Context, waveNo int, f *frontState, to config.Thinner, toHash string, budget int, kind string) error {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(f.url))))
+	var lastErr error
+	for attempt := 0; attempt <= budget; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.cfg.Backoff.Delay(attempt-1, rng)):
+			}
+		}
+		c.mu.Lock()
+		f.attempts++
+		c.mu.Unlock()
+		st, code, err := c.postConfig(ctx, f.url, to)
+		switch {
+		case err == nil && st.ConfigHash == toHash:
+			// Verify convergence with a fresh GET: the push's effect must
+			// be observable, not just claimed in the POST response.
+			got, gerr := c.getConfig(ctx, f.url)
+			if gerr == nil && got.ConfigHash == toHash {
+				c.mu.Lock()
+				f.finalHash = got.ConfigHash
+				c.mu.Unlock()
+				c.jr.log(Entry{Event: kind, Wave: waveNo, Front: f.url, Attempt: attempt + 1, Hash: toHash})
+				return nil
+			}
+			if gerr != nil {
+				lastErr = fmt.Errorf("verify: %w", gerr)
+			} else {
+				lastErr = fmt.Errorf("verify: hash %s, want %s (concurrent writer?)", short(got.ConfigHash), short(toHash))
+			}
+		case err == nil && code == http.StatusBadRequest:
+			return fmt.Errorf("%w: %s", errFatalPatch, strings.TrimSpace(st.raw))
+		case err == nil && retryableStatus(code):
+			lastErr = fmt.Errorf("front answered %d: %s", code, strings.TrimSpace(st.raw))
+		case err == nil:
+			return fmt.Errorf("front answered %d: %s", code, strings.TrimSpace(st.raw))
+		default:
+			lastErr = err
+		}
+		c.jr.log(Entry{Event: kind + "_retry", Wave: waveNo, Front: f.url, Attempt: attempt + 1, Err: lastErr.Error()})
+	}
+	return fmt.Errorf("retry budget exhausted after %d attempts: %w", budget+1, lastErr)
+}
+
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// configReply is a decoded /control/config response plus the raw body
+// for error reporting.
+type configReply struct {
+	config.ThinnerStatus
+	raw string
+}
+
+func (c *Controller) getConfig(ctx context.Context, url string) (configReply, error) {
+	return c.doConfig(ctx, http.MethodGet, url, nil)
+}
+
+func (c *Controller) postConfig(ctx context.Context, url string, t config.Thinner) (configReply, int, error) {
+	body, err := json.Marshal(t)
+	if err != nil {
+		return configReply{}, 0, err
+	}
+	return c.doConfigCode(ctx, http.MethodPost, url, body)
+}
+
+func (c *Controller) doConfig(ctx context.Context, method, url string, body []byte) (configReply, error) {
+	r, code, err := c.doConfigCode(ctx, method, url, body)
+	if err != nil {
+		return r, err
+	}
+	if code != http.StatusOK {
+		return r, fmt.Errorf("front answered %d: %s", code, strings.TrimSpace(r.raw))
+	}
+	return r, nil
+}
+
+func (c *Controller) doConfigCode(ctx context.Context, method, url string, body []byte) (configReply, int, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.PushTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(cctx, method, url+"/control/config", rd)
+	if err != nil {
+		return configReply{}, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return configReply{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return configReply{}, resp.StatusCode, err
+	}
+	out := configReply{raw: string(raw)}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out.ThinnerStatus); err != nil {
+			return out, resp.StatusCode, fmt.Errorf("bad config body: %w", err)
+		}
+	}
+	return out, resp.StatusCode, nil
+}
+
+// getConfigRetry is the capture-phase GET with the push retry ladder.
+func (c *Controller) getConfigRetry(ctx context.Context, f *frontState, budget int) (configReply, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(f.url)<<8)))
+	var lastErr error
+	for attempt := 0; attempt <= budget; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return configReply{}, ctx.Err()
+			case <-time.After(c.cfg.Backoff.Delay(attempt-1, rng)):
+			}
+		}
+		c.mu.Lock()
+		f.attempts++
+		c.mu.Unlock()
+		st, err := c.getConfig(ctx, f.url)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+	}
+	return configReply{}, fmt.Errorf("retry budget exhausted after %d attempts: %w", budget+1, lastErr)
+}
+
+// policyHolds reports whether the rollout may continue given the
+// failed-front count: abort tolerates none, quorum tolerates up to a
+// (1-Quorum) fraction of the fleet.
+func (c *Controller) policyHolds() bool {
+	failed := c.failedFronts()
+	if failed == 0 {
+		return true
+	}
+	if c.cfg.Policy == PolicyAbort {
+		return false
+	}
+	convergeable := len(c.fronts) - failed
+	return float64(convergeable) >= c.cfg.Quorum*float64(len(c.fronts))
+}
+
+func (c *Controller) policyBreach() string {
+	failed := c.failedFronts()
+	if c.cfg.Policy == PolicyAbort {
+		return fmt.Sprintf("policy abort: %d front(s) failed", failed)
+	}
+	return fmt.Sprintf("policy quorum: %d/%d fronts failed, below quorum %.2f",
+		failed, len(c.fronts), c.cfg.Quorum)
+}
+
+func (c *Controller) failedFronts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, f := range c.fronts {
+		if f.failure != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// haltAndRollback stops the rollout at wave waveNo and restores every
+// patched front to its captured pre-rollout config.
+func (c *Controller) haltAndRollback(ctx context.Context, waveNo int, patched []*frontState, breach string) (*Report, error) {
+	c.jr.log(Entry{Event: "guardrail_breach", Wave: waveNo, Reason: breach})
+	c.jr.log(Entry{Event: "rollback_start", Wave: waveNo, Fronts: urlsOf(patched)})
+	var wg sync.WaitGroup
+	for _, f := range patched {
+		wg.Add(1)
+		go func(f *frontState) {
+			defer wg.Done()
+			// Rollback outranks whatever failure got the front here: clear
+			// it so the restore's own outcome is what the report carries.
+			// Twice the push budget: a rollback must outlast the brownout
+			// that triggered it (503s retry on the same ladder).
+			err := c.pushConfig(ctx, waveNo, f, f.prior, f.priorHash, 2*c.cfg.RetryBudget, "rollback")
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if err != nil {
+				f.failure = "rollback: " + err.Error()
+				c.jr.log(Entry{Event: "rollback_failed", Front: f.url, Err: err.Error()})
+				return
+			}
+			f.failure = ""
+			f.converged = false
+			f.rolledBack = true
+		}(f)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	var stranded []string
+	for _, f := range patched {
+		if !f.rolledBack {
+			stranded = append(stranded, f.url)
+		}
+	}
+	c.mu.Unlock()
+	if len(stranded) > 0 {
+		c.jr.log(Entry{Event: "done", Outcome: OutcomeFailed, Reason: breach,
+			Err: "rollback incomplete: " + strings.Join(stranded, ", ")})
+		return c.report(OutcomeFailed, waveNo, 0, breach),
+			fmt.Errorf("fleetctl: rollback incomplete on %d front(s): %s", len(stranded), strings.Join(stranded, ", "))
+	}
+	c.jr.log(Entry{Event: "done", Outcome: OutcomeRolledBack, Reason: breach})
+	return c.report(OutcomeRolledBack, waveNo, 0, breach), nil
+}
+
+func (c *Controller) report(outcome Outcome, waves, planned int, breach string) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if planned == 0 {
+		// Recompute from assignments (rollback/failure paths).
+		for _, f := range c.fronts {
+			if f.wave > planned {
+				planned = f.wave
+			}
+		}
+	}
+	r := &Report{Outcome: outcome, Patch: c.cfg.Patch, Waves: waves, PlannedWaves: planned, Breach: breach}
+	for _, f := range c.fronts {
+		r.Fronts = append(r.Fronts, FrontReport{
+			URL: f.url, Wave: f.wave,
+			PriorHash: f.priorHash, TargetHash: f.targetHash, FinalHash: f.finalHash,
+			Skipped: f.skipped, Pushed: f.pushed, Converged: f.converged,
+			RolledBack: f.rolledBack, Attempts: f.attempts, Failure: f.failure,
+		})
+	}
+	return r
+}

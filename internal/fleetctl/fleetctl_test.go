@@ -1,0 +1,229 @@
+package fleetctl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"speakup/internal/config"
+)
+
+func mkController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func waveSizes(waves [][]*frontState) []int {
+	out := make([]int, len(waves))
+	for i, w := range waves {
+		out[i] = len(w)
+	}
+	return out
+}
+
+func TestPlanWaves(t *testing.T) {
+	urls := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = "http://f" + string(rune('a'+i))
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		fronts int
+		cfg    Config
+		want   []int
+	}{
+		{"canary-then-doubling", 7, Config{}, []int{1, 2, 4}},
+		{"remainder-wave", 6, Config{}, []int{1, 2, 3}},
+		{"single-front", 1, Config{}, []int{1}},
+		{"big-canary", 5, Config{CanarySize: 3}, []int{3, 2}},
+		{"factor-three", 13, Config{WaveFactor: 3}, []int{1, 3, 9}},
+		{"max-wave-cap", 9, Config{MaxWaveSize: 3}, []int{1, 2, 3, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Fronts = urls(tc.fronts)
+			c := mkController(t, tc.cfg)
+			got := waveSizes(c.planWaves())
+			if len(got) != len(tc.want) {
+				t.Fatalf("waves = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("waves = %v, want %v", got, tc.want)
+				}
+			}
+			// Wave numbers are 1-based and cover every front exactly once.
+			seen := 0
+			for wi, wave := range c.planWaves() {
+				for _, f := range wave {
+					if f.wave != wi+1 {
+						t.Fatalf("front %s wave = %d, want %d", f.url, f.wave, wi+1)
+					}
+					seen++
+				}
+			}
+			if seen != tc.fronts {
+				t.Fatalf("planned %d fronts, want %d", seen, tc.fronts)
+			}
+		})
+	}
+}
+
+func TestPlanWavesSkipsFailedCaptures(t *testing.T) {
+	c := mkController(t, Config{Fronts: []string{"http://a", "http://b", "http://c", "http://d"}})
+	c.fronts[1].failure = "capture: connection refused"
+	waves := c.planWaves()
+	total := 0
+	for _, w := range waves {
+		for _, f := range w {
+			if f.url == "http://b" {
+				t.Fatal("failed-capture front was planned into a wave")
+			}
+			total++
+		}
+	}
+	if total != 3 {
+		t.Fatalf("planned %d fronts, want 3", total)
+	}
+	if c.fronts[1].wave != 0 {
+		t.Fatalf("failed front wave = %d, want 0 (never planned)", c.fronts[1].wave)
+	}
+}
+
+func TestEvaluateGuardrails(t *testing.T) {
+	ok := Observation{Front: "http://a", Status: "ok", Origin: "ok", TelemetryHealth: "ok"}
+	cases := []struct {
+		name      string
+		obs       []Observation
+		shed      int64
+		wantMatch string // "" = no breach
+	}{
+		{"all-healthy", []Observation{ok, ok}, 0, ""},
+		{"no-observations", nil, 0, ""},
+		{"healthz-unreachable", []Observation{ok, {Front: "http://b", HealthzErr: "connection refused"}}, 0, "unreachable"},
+		{"degraded", []Observation{{Front: "http://a", Status: "degraded", Origin: "stalled"}}, 0, "degraded"},
+		{"origin-stalled", []Observation{{Front: "http://a", Status: "ok", Origin: "stalled"}}, 0, "origin stalled"},
+		{"telemetry-stalled", []Observation{{Front: "http://a", Status: "ok", Origin: "ok", TelemetryHealth: "stalled"}}, 0, "telemetry"},
+		// The ladder doing its job is not a breach.
+		{"recovering-is-fine", []Observation{{Front: "http://a", Status: "ok", Origin: "recovering", TelemetryHealth: "recovering"}}, 0, ""},
+		// No telemetry yet (empty TelemetryHealth) is not a breach either.
+		{"no-telemetry-yet", []Observation{{Front: "http://a", Status: "ok", Origin: "ok"}}, 0, ""},
+		{"any-shed-breaches-at-zero", []Observation{{Front: "http://a", Status: "ok", Origin: "ok", ShedDelta: 1}}, 0, "shed"},
+		{"shed-under-threshold", []Observation{{Front: "http://a", Status: "ok", Origin: "ok", ShedDelta: 5}}, 10, ""},
+		{"shed-over-threshold", []Observation{{Front: "http://a", Status: "ok", Origin: "ok", ShedDelta: 11}}, 10, "shed"},
+		{"shed-disabled", []Observation{{Front: "http://a", Status: "ok", Origin: "ok", ShedDelta: 9999}}, -1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := evaluateGuardrails(tc.obs, tc.shed)
+			if tc.wantMatch == "" && got != "" {
+				t.Fatalf("unexpected breach: %q", got)
+			}
+			if tc.wantMatch != "" && !strings.Contains(got, tc.wantMatch) {
+				t.Fatalf("breach = %q, want match %q", got, tc.wantMatch)
+			}
+		})
+	}
+}
+
+func TestJournalNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	j := newJournal(&buf)
+	j.log(Entry{Event: "wave_start", Wave: 2, Fronts: []string{"http://a"}})
+	j.log(Entry{Event: "push", Front: "http://a", Attempt: 1, Hash: "abc"})
+
+	sc := bufio.NewScanner(&buf)
+	var lines []Entry
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("journal line not JSON: %v (%s)", err, sc.Text())
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d journal lines, want 2", len(lines))
+	}
+	if lines[0].Event != "wave_start" || lines[0].Wave != 2 || lines[0].TS.IsZero() {
+		t.Fatalf("first entry: %+v", lines[0])
+	}
+	if lines[1].Front != "http://a" || lines[1].Hash != "abc" {
+		t.Fatalf("second entry: %+v", lines[1])
+	}
+	// A nil writer journals nowhere without panicking.
+	newJournal(nil).log(Entry{Event: "noop"})
+}
+
+func TestNewRejectsBadFleets(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := New(Config{Fronts: []string{"http://a", "http://a/"}}); err == nil {
+		t.Fatal("duplicate front (after trailing-slash trim) accepted")
+	}
+}
+
+func TestPolicyHolds(t *testing.T) {
+	c := mkController(t, Config{Fronts: []string{"http://a", "http://b", "http://c", "http://d", "http://e"},
+		Policy: PolicyQuorum, Quorum: 0.8})
+	if !c.policyHolds() {
+		t.Fatal("healthy fleet must hold")
+	}
+	c.fronts[0].failure = "push: timeout"
+	if !c.policyHolds() { // 4/5 = 0.8 meets the quorum exactly
+		t.Fatal("quorum 0.8 with 4/5 convergeable must hold")
+	}
+	c.fronts[1].failure = "push: timeout"
+	if c.policyHolds() { // 3/5 = 0.6 < 0.8
+		t.Fatal("quorum must break at 3/5")
+	}
+
+	a := mkController(t, Config{Fronts: []string{"http://a", "http://b"}}) // default abort
+	a.fronts[0].failure = "push: timeout"
+	if a.policyHolds() {
+		t.Fatal("abort policy must break on any failure")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.CanarySize != 1 || cfg.WaveFactor != 2 || cfg.Policy != PolicyAbort {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.Soak != 5*time.Second || cfg.Probe != time.Second || cfg.RetryBudget != 4 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.Quorum != 0.8 || cfg.Client == nil {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	r := &Report{
+		Outcome: OutcomeRolledBack, Waves: 2, PlannedWaves: 3,
+		Breach: "http://a: origin stalled",
+		Patch:  config.Thinner{Shards: 8},
+		Fronts: []FrontReport{
+			{URL: "http://a", Wave: 1, PriorHash: strings.Repeat("a", 64), Pushed: true, RolledBack: true},
+			{URL: "http://b", Wave: 2, TargetHash: strings.Repeat("b", 64), Skipped: true},
+			{URL: "http://c", Wave: 2, Failure: "rollback: exhausted"},
+		},
+	}
+	s := r.Summary()
+	for _, want := range []string{"rolled-back", "2/3 waves", "origin stalled",
+		"rolled back to " + strings.Repeat("a", 12), "already at " + strings.Repeat("b", 12), "FAILED"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

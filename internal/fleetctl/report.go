@@ -1,0 +1,155 @@
+package fleetctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"speakup/internal/config"
+)
+
+// Outcome is how a rollout ended.
+type Outcome string
+
+const (
+	// OutcomeConverged: every front reports the target config hash.
+	OutcomeConverged Outcome = "converged"
+	// OutcomeQuorum: the quorum policy accepted the rollout with some
+	// fronts failed; the converged fraction is at or above Config.Quorum.
+	OutcomeQuorum Outcome = "converged-quorum"
+	// OutcomeRolledBack: a guardrail breached (or the abort policy
+	// fired) and every patched front was restored to its pre-rollout
+	// config; the fleet is back at the prior hashes.
+	OutcomeRolledBack Outcome = "rolled-back"
+	// OutcomeFailed: the rollout could not complete its protocol — a
+	// capture failed under the abort policy, a patch was rejected as
+	// invalid, or a rollback push never converged. The fleet may be in
+	// a mixed state; Run returns a non-nil error alongside.
+	OutcomeFailed Outcome = "failed"
+)
+
+// FrontReport is one front's rollout accounting.
+type FrontReport struct {
+	URL string `json:"url"`
+	// Wave is the 1-based wave the front was assigned to (0: never
+	// planned, e.g. a capture failure under the quorum policy).
+	Wave int `json:"wave,omitempty"`
+	// PriorHash is the captured pre-rollout config hash — the rollback
+	// identity. TargetHash is the hash of the captured config with the
+	// rollout patch merged over it (per-front: fronts with different
+	// shard counts have different target hashes for the same patch).
+	PriorHash  string `json:"prior_hash,omitempty"`
+	TargetHash string `json:"target_hash,omitempty"`
+	// FinalHash is the last config hash the controller observed.
+	FinalHash string `json:"final_hash,omitempty"`
+	// Skipped: the front was already at the target hash; no POST sent.
+	Skipped bool `json:"skipped,omitempty"`
+	// Pushed: at least one patch POST was attempted (a timed-out POST
+	// may still have applied, so rollback covers every pushed front).
+	Pushed bool `json:"pushed,omitempty"`
+	// Converged: the front verifiably reached the target hash.
+	Converged bool `json:"converged,omitempty"`
+	// RolledBack: the front was verifiably restored to PriorHash.
+	RolledBack bool `json:"rolled_back,omitempty"`
+	// Attempts counts config POSTs/GETs spent on this front.
+	Attempts int `json:"attempts,omitempty"`
+	// Failure is the front's terminal error, "" when healthy.
+	Failure string `json:"failure,omitempty"`
+}
+
+// Report is a completed rollout's account: what Run decided and why.
+type Report struct {
+	Outcome Outcome `json:"outcome"`
+	// Patch is the thinner patch the rollout fanned out.
+	Patch config.Thinner `json:"patch"`
+	// PlannedWaves and Waves count planned vs actually executed waves.
+	PlannedWaves int `json:"planned_waves"`
+	Waves        int `json:"waves"`
+	// Breach is the guardrail reason that halted the rollout ("" when
+	// none breached).
+	Breach string        `json:"breach,omitempty"`
+	Fronts []FrontReport `json:"fronts"`
+}
+
+// Summary renders a one-paragraph human account of the rollout.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rollout %s: %d/%d waves", r.Outcome, r.Waves, r.PlannedWaves)
+	if r.Breach != "" {
+		fmt.Fprintf(&b, " (breach: %s)", r.Breach)
+	}
+	b.WriteString("\n")
+	for _, f := range r.Fronts {
+		state := "untouched"
+		switch {
+		case f.Failure != "":
+			state = "FAILED: " + f.Failure
+		case f.RolledBack:
+			state = "rolled back to " + short(f.PriorHash)
+		case f.Skipped:
+			state = "already at " + short(f.TargetHash)
+		case f.Converged:
+			state = "converged to " + short(f.TargetHash)
+		case f.Pushed:
+			state = "pushed, unverified"
+		}
+		fmt.Fprintf(&b, "  %-40s wave %d  %s\n", f.URL, f.Wave, state)
+	}
+	return b.String()
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
+// Entry is one NDJSON journal line: every decision the controller
+// takes — captures, wave starts, pushes, soak verdicts, guardrail
+// breaches, rollbacks — lands as one Entry so a rollout is auditable
+// after the fact (and a test can hook the stream to orchestrate
+// failures at exact protocol points).
+type Entry struct {
+	TS    time.Time `json:"ts"`
+	Event string    `json:"event"`
+	// Wave is 1-based in the journal; 0 (omitted) means "not wave-scoped".
+	Wave    int      `json:"wave,omitempty"`
+	Front   string   `json:"front,omitempty"`
+	Fronts  []string `json:"fronts,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
+	Hash    string   `json:"hash,omitempty"`
+	Target  string   `json:"target,omitempty"`
+	Reason  string   `json:"reason,omitempty"`
+	Outcome Outcome  `json:"outcome,omitempty"`
+	Err     string   `json:"err,omitempty"`
+}
+
+// journal serializes Entry lines onto one writer. Pushes within a
+// wave run concurrently, so every write goes through the mutex; a nil
+// writer journals nowhere at zero cost.
+type journal struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newJournal(w io.Writer) *journal {
+	j := &journal{}
+	if w != nil {
+		j.enc = json.NewEncoder(w)
+	}
+	return j
+}
+
+func (j *journal) log(e Entry) {
+	if j.enc == nil {
+		return
+	}
+	e.TS = time.Now().UTC()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.enc.Encode(e)
+}

@@ -1,0 +1,188 @@
+package fleetctl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"speakup/internal/fleetwatch"
+)
+
+// Observation is one patched front's state at a soak probe tick: the
+// direct /healthz answer plus whatever the telemetry watcher has seen.
+// It is a plain value so evaluateGuardrails stays a pure function a
+// unit test can drive without servers.
+type Observation struct {
+	Front string
+	// HealthzErr is the probe's transport error ("" when it answered).
+	HealthzErr string
+	// Status and Origin are the /healthz fields ("ok"/"degraded" and
+	// the brownout-ladder rung).
+	Status string
+	Origin string
+	// TelemetryHealth is the watcher's view of the same ladder ("" when
+	// the front has not reported telemetry yet) — a second, independent
+	// signal path: a front whose control socket still answers but whose
+	// telemetry says stalled is browned out all the same.
+	TelemetryHealth string
+	// ShedDelta is how many arrivals the front shed since the soak
+	// window opened (0 when no telemetry baseline exists yet).
+	ShedDelta int64
+}
+
+// evaluateGuardrails returns the first breach among the observations,
+// or "" when the fleet looks healthy. Breach conditions, in order of
+// severity: the front's healthz is unreachable, the front reports
+// degraded, either signal path says the origin is stalled, or the
+// front shed more arrivals than the guardrail allows. A recovering
+// origin is NOT a breach — that is the ladder doing its job — and a
+// negative shedGuardrail disables the shed check.
+func evaluateGuardrails(obs []Observation, shedGuardrail int64) string {
+	for _, o := range obs {
+		switch {
+		case o.HealthzErr != "":
+			return fmt.Sprintf("%s: healthz unreachable: %s", o.Front, o.HealthzErr)
+		case o.Status != "ok":
+			return fmt.Sprintf("%s: healthz %q (origin %s)", o.Front, o.Status, o.Origin)
+		case o.Origin == "stalled":
+			return fmt.Sprintf("%s: origin stalled", o.Front)
+		case o.TelemetryHealth == "stalled":
+			return fmt.Sprintf("%s: telemetry reports origin stalled", o.Front)
+		case shedGuardrail >= 0 && o.ShedDelta > shedGuardrail:
+			return fmt.Sprintf("%s: shed %d arrivals during soak (guardrail %d)", o.Front, o.ShedDelta, shedGuardrail)
+		}
+	}
+	return ""
+}
+
+// soak watches the patched fronts for the configured window and
+// returns a breach reason, or "" when the window closed clean. The
+// guardrail scope is deliberately the patched fronts only: an
+// unreachable front the rollout has not touched yet is a push problem
+// for its own wave, not evidence against the config change.
+func (c *Controller) soak(ctx context.Context, waveNo int, patched []*frontState) string {
+	c.jr.log(Entry{Event: "soak_start", Wave: waveNo, Fronts: urlsOf(patched)})
+	start := time.Now()
+	deadline := start.Add(c.cfg.Soak)
+	shedBase := c.shedBaseline(patched)
+	admitBase := c.admittedTotal()
+	ticker := time.NewTicker(c.cfg.Probe)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return "soak interrupted: " + ctx.Err().Error()
+		case now := <-ticker.C:
+			obs := c.observe(ctx, patched, shedBase)
+			if breach := evaluateGuardrails(obs, c.cfg.ShedGuardrail); breach != "" {
+				return breach
+			}
+			if now.Before(deadline) {
+				continue
+			}
+			// Window closed clean; the fleet-wide good-service floor is
+			// judged over the whole window, not per tick.
+			if c.cfg.MinAdmitRate > 0 {
+				elapsed := time.Since(start).Seconds()
+				rate := float64(c.admittedTotal()-admitBase) / elapsed
+				if rate < c.cfg.MinAdmitRate {
+					return fmt.Sprintf("fleet admit rate %.2f/s below floor %.2f/s over %.1fs soak",
+						rate, c.cfg.MinAdmitRate, elapsed)
+				}
+			}
+			return ""
+		}
+	}
+}
+
+// observe probes every patched front's /healthz concurrently and
+// joins in the telemetry watcher's latest view.
+func (c *Controller) observe(ctx context.Context, patched []*frontState, shedBase map[string]int64) []Observation {
+	states := map[string]fleetwatch.FrontState{}
+	for _, st := range c.watcher.States() {
+		states[st.URL] = st
+	}
+	obs := make([]Observation, len(patched))
+	var wg sync.WaitGroup
+	for i, f := range patched {
+		wg.Add(1)
+		go func(i int, f *frontState) {
+			defer wg.Done()
+			o := Observation{Front: f.url}
+			hz, err := c.getHealthz(ctx, f.url)
+			if err != nil {
+				o.HealthzErr = err.Error()
+			} else {
+				o.Status, o.Origin = hz.Status, hz.Origin
+			}
+			if st, ok := states[f.url]; ok && !st.LastSeen.IsZero() {
+				o.TelemetryHealth = st.Health
+				if base, ok := shedBase[f.url]; ok {
+					o.ShedDelta = int64(st.Snapshot.Shed) - base
+				}
+			}
+			obs[i] = o
+		}(i, f)
+	}
+	wg.Wait()
+	return obs
+}
+
+// healthzReply is the slice of /healthz the controller reads.
+type healthzReply struct {
+	Status string `json:"status"`
+	Origin string `json:"origin"`
+}
+
+func (c *Controller) getHealthz(ctx context.Context, url string) (healthzReply, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return healthzReply{}, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return healthzReply{}, err
+	}
+	defer resp.Body.Close()
+	var h healthzReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&h); err != nil {
+		return healthzReply{}, fmt.Errorf("bad healthz body: %w", err)
+	}
+	return h, nil
+}
+
+// shedBaseline records each patched front's shed counter at soak
+// start so the guardrail judges the window's delta, not history. A
+// front with no telemetry yet gets no baseline (and so no delta): a
+// counter first observed mid-window cannot be attributed to it.
+func (c *Controller) shedBaseline(patched []*frontState) map[string]int64 {
+	base := map[string]int64{}
+	for _, st := range c.watcher.States() {
+		if st.LastSeen.IsZero() {
+			continue
+		}
+		for _, f := range patched {
+			if f.url == st.URL {
+				base[f.url] = int64(st.Snapshot.Shed)
+			}
+		}
+	}
+	return base
+}
+
+// admittedTotal sums admissions over every front that has reported.
+func (c *Controller) admittedTotal() uint64 {
+	var total uint64
+	for _, st := range c.watcher.States() {
+		if !st.LastSeen.IsZero() {
+			total += st.Snapshot.Admitted
+		}
+	}
+	return total
+}

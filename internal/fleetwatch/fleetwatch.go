@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"speakup/internal/core"
 	"speakup/internal/faults"
 	"speakup/internal/metrics"
 )
@@ -71,6 +72,11 @@ type FrontState struct {
 	LastErr string `json:"last_err,omitempty"`
 	// LastSeen is when the last snapshot line was decoded.
 	LastSeen time.Time `json:"last_seen"`
+	// Health is the front's brownout-ladder state rendered as the
+	// /healthz vocabulary ("ok", "stalled", "recovering"; "" before the
+	// first snapshot) — the signal rollout soak decisions and human
+	// operators read alike.
+	Health string `json:"health,omitempty"`
 	// Snapshot is the front's latest telemetry line.
 	Snapshot metrics.Snapshot `json:"snapshot"`
 }
@@ -82,6 +88,12 @@ type FrontState struct {
 type Aggregate struct {
 	Fronts    int `json:"fronts"`
 	Connected int `json:"connected"`
+	// Health rollup: how many reporting fronts currently sit on each
+	// rung of the brownout ladder. Healthy + Stalled + Recovering can
+	// be less than Fronts (fronts that never reported count nowhere).
+	Healthy    int `json:"healthy"`
+	Stalled    int `json:"stalled"`
+	Recovering int `json:"recovering"`
 
 	Admitted        uint64  `json:"admitted"`
 	AdmittedDirect  uint64  `json:"admitted_direct"`
@@ -168,6 +180,14 @@ func (w *Watcher) Aggregate() Aggregate {
 			continue
 		}
 		s := st.Snapshot
+		switch core.HealthState(s.Health) {
+		case core.HealthStalled:
+			a.Stalled++
+		case core.HealthRecovering:
+			a.Recovering++
+		default:
+			a.Healthy++
+		}
 		a.Admitted += s.Admitted
 		a.AdmittedDirect += s.AdmittedDirect
 		a.Auctions += s.Auctions
@@ -263,6 +283,7 @@ func (w *Watcher) streamOnce(ctx context.Context, idx int) (lines int, err error
 			st.Connected = true
 			st.LastErr = ""
 			st.LastSeen = time.Now()
+			st.Health = core.HealthState(snap.Health).String()
 			st.Snapshot = snap
 		})
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -131,6 +132,100 @@ func TestWatcherAggregatesAndSurvivesDisconnect(t *testing.T) {
 	// front 1's stale 1 plus the new front's 0.
 	if a := w.Aggregate(); a.Admitted != 1 {
 		t.Fatalf("after reconnect Admitted = %d, want 1 (fresh front replaced the stale snapshot)", a.Admitted)
+	}
+}
+
+// TestWatcherSurfacesHealth walks one front down the brownout ladder
+// and checks the watcher mirrors it: FrontState.Health carries the
+// healthz vocabulary, the aggregate health rollup moves rung by rung,
+// and shed arrivals land in the fleet totals — the signals the fleet
+// dashboard and rollout soak guardrails both read.
+func TestWatcherSurfacesHealth(t *testing.T) {
+	var stallArmed atomic.Bool
+	release := make(chan struct{})
+	front := web.NewFront(web.OriginFunc(func(id core.RequestID) ([]byte, error) {
+		if stallArmed.CompareAndSwap(true, false) {
+			<-release
+		}
+		return []byte("ok"), nil
+	}), web.Config{
+		OriginStallAfter: 80 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout: 200 * time.Millisecond,
+			SweepInterval: 20 * time.Millisecond,
+			Shards:        4,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: front}
+	go srv.Serve(ln)
+	defer front.Close()
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+
+	w := New(Config{
+		Fronts:   []string{url},
+		Interval: 20 * time.Millisecond,
+		Backoff:  faults.Backoff{Base: 20 * time.Millisecond, Cap: 100 * time.Millisecond},
+	})
+	w.Start(context.Background())
+	defer w.Stop()
+
+	waitFor(t, "healthy front visible", func() bool {
+		a := w.Aggregate()
+		return a.Connected == 1 && a.Healthy == 1
+	})
+	if st := w.States()[0]; st.Health != "ok" {
+		t.Fatalf("health = %q, want ok", st.Health)
+	}
+
+	// Hang the origin; the watchdog stalls the front and the watcher
+	// must relay it.
+	stallArmed.Store(true)
+	reqDone := make(chan struct{})
+	go func() {
+		resp, err := http.Get(url + "/request?id=1")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		close(reqDone)
+	}()
+	waitFor(t, "stall relayed", func() bool {
+		a := w.Aggregate()
+		return a.Stalled == 1 && a.Healthy == 0
+	})
+	if st := w.States()[0]; st.Health != "stalled" {
+		t.Fatalf("health = %q, want stalled", st.Health)
+	}
+
+	// An arrival during the stall is shed and the counter reaches the
+	// fleet totals.
+	resp, err := http.Get(url + "/request?id=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-stall arrival got %d, want 503", resp.StatusCode)
+	}
+	waitFor(t, "shed counted", func() bool {
+		return w.Aggregate().Shed >= 1
+	})
+
+	// Thaw: the ladder climbs back (recovering, then ok) and the
+	// watcher follows it all the way.
+	close(release)
+	<-reqDone
+	waitFor(t, "recovery relayed", func() bool {
+		return w.Aggregate().Healthy == 1 && w.Aggregate().Stalled == 0
+	})
+	if st := w.States()[0]; st.Health == "stalled" {
+		t.Fatalf("health still %q after recovery", st.Health)
 	}
 }
 

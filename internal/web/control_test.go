@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"speakup/internal/config"
+	"speakup/internal/core"
 	"speakup/internal/metrics"
 )
 
@@ -253,4 +254,135 @@ func TestTelemetryEndsOnClose(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("telemetry stream did not end on Close")
 	}
+}
+
+// TestControlConfigHash checks the convergence identity fleet rollout
+// verifies against: /control/config (GET and POST replies) and /stats
+// carry the canonical config hash, and a POST moves it.
+func TestControlConfigHash(t *testing.T) {
+	front, srv, _ := newTestFront(t, 10*time.Millisecond)
+
+	_, body := get(t, srv.URL+"/control/config")
+	var st config.ThinnerStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("GET body: %v in %q", err, body)
+	}
+	want := config.HashThinner(front.ThinnerConfig())
+	if st.ConfigHash != want || st.Thinner != front.ThinnerConfig() {
+		t.Fatalf("GET status = %+v, want hash %s over the live config", st, want)
+	}
+	if _, body := get(t, srv.URL+"/stats"); !strings.Contains(body, want) {
+		t.Fatalf("/stats missing config hash %s: %q", want, body)
+	}
+
+	_, body, err := postJSON(t, srv.URL+"/control/config", `{"orphan_timeout":"2s"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("POST reply: %v in %q", err, body)
+	}
+	moved := config.HashThinner(front.ThinnerConfig())
+	if st.ConfigHash != moved || moved == want {
+		t.Fatalf("POST hash = %s, want the moved hash %s (was %s)", st.ConfigHash, moved, want)
+	}
+	if _, body := get(t, srv.URL+"/stats"); !strings.Contains(body, moved) {
+		t.Fatalf("/stats still carries the stale hash: %q", body)
+	}
+}
+
+// TestControlConfigRefusedDuringBrownout pins the rollout-safety
+// contract: while the origin is stalled a reconfiguration is refused
+// with 503 + Retry-After (a retryable verdict, not a 400), reads stay
+// live, and once the ladder leaves HealthStalled the same patch
+// applies.
+func TestControlConfigRefusedDuringBrownout(t *testing.T) {
+	var stallArmed atomic.Bool
+	release := make(chan struct{})
+	origin := OriginFunc(func(id core.RequestID) ([]byte, error) {
+		if stallArmed.CompareAndSwap(true, false) {
+			<-release
+		}
+		return []byte("ok"), nil
+	})
+	front := NewFront(origin, Config{
+		PayPollInterval:  5 * time.Millisecond,
+		OriginStallAfter: 100 * time.Millisecond,
+		Thinner: core.Config{
+			OrphanTimeout: 300 * time.Millisecond,
+			SweepInterval: 25 * time.Millisecond,
+			Shards:        4,
+		},
+	})
+	srv := httptest.NewServer(front)
+	defer front.Close()
+	defer srv.Close()
+	before := front.ThinnerConfig()
+
+	stallArmed.Store(true)
+	reqDone := make(chan struct{})
+	go func() {
+		tryGet(srv.URL + "/request?id=1")
+		close(reqDone)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for front.Health().Origin != "stalled" && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if front.Health().Origin != "stalled" {
+		close(release)
+		t.Fatal("watchdog never declared the stall")
+	}
+
+	resp, err := http.Post(srv.URL+"/control/config", "application/json",
+		strings.NewReader(`{"orphan_timeout":"2s"}`))
+	if err != nil {
+		close(release)
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	b.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(b.String(), "browned out") {
+		close(release)
+		t.Fatalf("mid-brownout POST: %d %q, want 503", resp.StatusCode, b.String())
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		close(release)
+		t.Fatal("503 carried no Retry-After: clients cannot tell retryable from fatal")
+	}
+	if front.ThinnerConfig() != before {
+		close(release)
+		t.Fatalf("refused POST leaked a config change: %+v", front.ThinnerConfig())
+	}
+	// Reads stay live during the brownout.
+	if code, body := get(t, srv.URL+"/control/config"); code != http.StatusOK ||
+		!strings.Contains(body, config.HashThinner(before)) {
+		close(release)
+		t.Fatalf("mid-brownout GET: %d %q", code, body)
+	}
+
+	// Thaw; once the ladder leaves stalled, the same patch applies
+	// (recovering does not block the control path).
+	close(release)
+	deadline = time.Now().Add(10 * time.Second)
+	applied := false
+	for !applied && time.Now().Before(deadline) {
+		code, _, err := postJSON(t, srv.URL+"/control/config", `{"orphan_timeout":"2s"}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == http.StatusOK {
+			applied = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !applied {
+		t.Fatal("patch never applied after recovery")
+	}
+	if got := front.ThinnerConfig().OrphanTimeout.D(); got != 2*time.Second {
+		t.Fatalf("post-recovery config: orphan timeout %v, want 2s", got)
+	}
+	<-reqDone
 }

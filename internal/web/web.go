@@ -20,12 +20,18 @@
 //	GET  /telemetry               NDJSON stream of periodic snapshots
 //	                              (?interval=500ms tunes the cadence).
 //	GET  /control/config          the thinner's effective configuration
-//	                              (the scenario schema's thinner section).
+//	                              (the scenario schema's thinner section)
+//	                              plus its canonical config_hash, the
+//	                              identity fleet rollouts converge on.
 //	POST /control/config          live reconfiguration: a thinner section
 //	                              whose zero fields mean "unchanged".
 //	                              Timeouts and the sweep cadence apply
 //	                              atomically; a shard-count change is
-//	                              rejected with 400.
+//	                              rejected with 400, and any patch is
+//	                              refused with 503 + Retry-After while
+//	                              the origin is browned out (a patch
+//	                              applied mid-brownout is indistinguishable
+//	                              from the patch causing it).
 //
 // Ingest architecture: the whole point of speak-up is that the thinner
 // absorbs far more traffic than the origin serves, so the payment path
@@ -562,6 +568,10 @@ type Stats struct {
 	// Health is the origin-health brownout ladder state ("ok",
 	// "stalled", "recovering").
 	Health string `json:"health"`
+	// ConfigHash is the canonical hash of the thinner's effective
+	// configuration — the identity fleet rollouts converge on (the same
+	// value /control/config reports).
+	ConfigHash string `json:"config_hash"`
 	// Wire-transport slice of the ingest (0s when no wire listener is
 	// attached): open binary connections, frames decoded, and payment
 	// bytes credited over internal/wire.
@@ -581,6 +591,7 @@ func (f *Front) Snapshot() Stats {
 	winner := f.th.LastWinner()
 	totals := f.th.Stats()
 	health := f.th.Health()
+	cfgHash := config.HashThinner(config.ThinnerFromCore(f.th.Config()))
 	f.ctl.Unlock()
 	pay := f.table.TotalCredited()
 	snap := f.reg.Snapshot()
@@ -597,6 +608,7 @@ func (f *Front) Snapshot() Stats {
 		OpenChannels:    f.table.Size(),
 		Shards:          f.table.Shards(),
 		Health:          health.String(),
+		ConfigHash:      cfgHash,
 		WireConns:       snap.WireConns,
 		WireFrames:      snap.WireFrames,
 		WireIngestBytes: snap.WireIngestBytes,
@@ -733,14 +745,27 @@ func (f *Front) handleHealthz(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(h)
 }
 
+// ErrReconfigStalled rejects live reconfiguration during an origin
+// brownout: a patch applied mid-brownout is indistinguishable from the
+// patch causing the brownout, so the control plane refuses to move
+// while the ladder reads HealthStalled. /control/config maps it to
+// 503 + Retry-After; fleet controllers treat it as a retryable
+// unhealthy signal, exactly like a shed arrival.
+var ErrReconfigStalled = errors.New("origin browned out (health stalled): reconfiguration refused until the origin recovers")
+
 // Reconfigure applies a thinner-section patch to the live auction
 // core: zero fields keep their value, timeouts and the sweep cadence
 // apply atomically under the control mutex, and a shard-count change
-// is rejected (the bid table is sized at construction). Safe to call
-// concurrently with traffic; /control/config POSTs land here.
+// is rejected (the bid table is sized at construction). While the
+// origin is browned out (HealthStalled) every patch is refused with
+// ErrReconfigStalled. Safe to call concurrently with traffic;
+// /control/config POSTs land here.
 func (f *Front) Reconfigure(patch config.Thinner) error {
 	f.ctl.Lock()
 	defer f.ctl.Unlock()
+	if f.th.Health() == core.HealthStalled {
+		return ErrReconfigStalled
+	}
 	return f.th.Reconfigure(patch.Core())
 }
 
@@ -756,7 +781,7 @@ func (f *Front) handleControlConfig(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(f.ThinnerConfig())
+		json.NewEncoder(w).Encode(config.StatusOf(f.ThinnerConfig()))
 	case http.MethodPost:
 		patch, err := config.DecodeThinner(r.Body)
 		if err != nil {
@@ -764,11 +789,16 @@ func (f *Front) handleControlConfig(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := f.Reconfigure(patch); err != nil {
+			if errors.Is(err, ErrReconfigStalled) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(f.ThinnerConfig())
+		json.NewEncoder(w).Encode(config.StatusOf(f.ThinnerConfig()))
 	default:
 		http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
 	}

@@ -40,6 +40,7 @@ import (
 	"speakup/internal/config"
 	"speakup/internal/core"
 	"speakup/internal/faults"
+	"speakup/internal/fleetctl"
 	"speakup/internal/fleetwatch"
 	"speakup/internal/scenario"
 	"speakup/internal/sweep"
@@ -397,6 +398,63 @@ func TraceSampled(id uint64, sample int) bool { return trace.Sampled(id, sample)
 
 // NewFleetWatcher creates a watcher over cfg.Fronts (call Start).
 func NewFleetWatcher(cfg FleetWatchConfig) *FleetWatcher { return fleetwatch.New(cfg) }
+
+// Fleet rollout: the write half of fleet control
+// ([internal/fleetctl], cmd/fleetctl). A FleetController takes one
+// scenario file's thinner section and rolls it across N fronts as
+// /control/config patches in health-gated waves — canary first —
+// verifying convergence by config hash, soaking between waves on
+// /healthz plus fleet telemetry, and automatically rolling every
+// patched front back to its captured pre-rollout config when a
+// brownout or shed guardrail breaches.
+type (
+	// FleetController executes one staged config rollout.
+	FleetController = fleetctl.Controller
+	// FleetRolloutConfig tunes a FleetController.
+	FleetRolloutConfig = fleetctl.Config
+	// FleetRolloutReport is a completed rollout's account.
+	FleetRolloutReport = fleetctl.Report
+	// FleetFrontReport is one front's rollout accounting.
+	FleetFrontReport = fleetctl.FrontReport
+	// FleetRolloutPolicy selects the partial-failure policy.
+	FleetRolloutPolicy = fleetctl.Policy
+	// FleetRolloutOutcome is how a rollout ended.
+	FleetRolloutOutcome = fleetctl.Outcome
+	// ThinnerStatus is a thinner section plus its canonical config
+	// hash — the /control/config and /stats convergence identity.
+	ThinnerStatus = config.ThinnerStatus
+)
+
+// Partial-failure policies.
+const (
+	// FleetPolicyAbort halts and rolls back on any exhausted front.
+	FleetPolicyAbort = fleetctl.PolicyAbort
+	// FleetPolicyQuorum tolerates failures while the convergeable
+	// fraction stays at or above FleetRolloutConfig.Quorum.
+	FleetPolicyQuorum = fleetctl.PolicyQuorum
+)
+
+// Rollout outcomes.
+const (
+	// FleetOutcomeConverged: every front reached its target hash.
+	FleetOutcomeConverged = fleetctl.OutcomeConverged
+	// FleetOutcomeQuorum: converged with some failures, within quorum.
+	FleetOutcomeQuorum = fleetctl.OutcomeQuorum
+	// FleetOutcomeRolledBack: a guardrail breached; every patched
+	// front was restored to its pre-rollout config.
+	FleetOutcomeRolledBack = fleetctl.OutcomeRolledBack
+	// FleetOutcomeFailed: the protocol could not complete; the fleet
+	// may be mixed.
+	FleetOutcomeFailed = fleetctl.OutcomeFailed
+)
+
+// NewFleetController creates a rollout controller (call Run once).
+func NewFleetController(cfg FleetRolloutConfig) (*FleetController, error) { return fleetctl.New(cfg) }
+
+// ThinnerConfigHash returns the full canonical hash of a thinner
+// section — the identity /control/config, /stats, and fleet rollout
+// convergence checks share.
+func ThinnerConfigHash(t ScenarioThinner) string { return config.HashThinner(t) }
 
 // Handler is a convenience assertion that Front serves HTTP.
 var _ http.Handler = (*web.Front)(nil)
